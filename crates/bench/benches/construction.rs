@@ -1,0 +1,32 @@
+//! Criterion bench: index construction and refinement costs (supports
+//! Table 2 and the §5.3 incremental-update claims).
+
+use apex_bench::{Experiment, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for d in Scale::Small.datasets() {
+        let ex = Experiment::new(d, Scale::Small);
+        group.bench_function(format!("{}/APEX0", d.name()), |b| {
+            b.iter(|| apex::Apex::build_initial(&ex.g))
+        });
+        group.bench_function(format!("{}/refine-0.005", d.name()), |b| {
+            b.iter(|| ex.apex_at(0.005))
+        });
+        group.bench_function(format!("{}/DataGuide", d.name()), |b| {
+            b.iter(|| dataguide::DataGuide::build(&ex.g))
+        });
+        group.bench_function(format!("{}/1-index", d.name()), |b| {
+            b.iter(|| oneindex::OneIndex::build(&ex.g))
+        });
+        group.bench_function(format!("{}/Fabric", d.name()), |b| {
+            b.iter(|| fabric::IndexFabric::build(&ex.g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: the Figure 13 batches (QTYPE1 query set per index)
+//! on the small scale.
+
+use apex_bench::{Experiment, Scale};
+use apex_query::apex_qp::ApexProcessor;
+use apex_query::guide_qp::GuideProcessor;
+use apex_query::run_batch;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_qtype1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_qtype1");
+    group.sample_size(10);
+    for d in Scale::Small.datasets() {
+        let ex = Experiment::new(d, Scale::Small);
+        let sdg = ex.dataguide();
+        let apex = ex.apex_at(0.005);
+
+        group.bench_function(format!("{}/SDG", d.name()), |b| {
+            let p = GuideProcessor::new(&ex.g, &sdg, &ex.table);
+            b.iter(|| run_batch(&p, &ex.queries.qtype1))
+        });
+        group.bench_function(format!("{}/APEX0", d.name()), |b| {
+            let p = ApexProcessor::new(&ex.g, &ex.apex0, &ex.table);
+            b.iter(|| run_batch(&p, &ex.queries.qtype1))
+        });
+        group.bench_function(format!("{}/APEX-0.005", d.name()), |b| {
+            let p = ApexProcessor::new(&ex.g, &apex, &ex.table);
+            b.iter(|| run_batch(&p, &ex.queries.qtype1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qtype1);
+criterion_main!(benches);

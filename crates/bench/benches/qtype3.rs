@@ -1,0 +1,36 @@
+//! Criterion bench: the Figure 15 batches (QTYPE3 query set per index,
+//! including the Index Fabric).
+
+use apex_bench::{Experiment, Scale};
+use apex_query::apex_qp::ApexProcessor;
+use apex_query::fabric_qp::FabricProcessor;
+use apex_query::guide_qp::GuideProcessor;
+use apex_query::run_batch;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_qtype3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_qtype3");
+    group.sample_size(10);
+    for d in Scale::Small.datasets() {
+        let ex = Experiment::new(d, Scale::Small);
+        let sdg = ex.dataguide();
+        let apex = ex.apex_at(0.005);
+        let fab = ex.fabric();
+        group.bench_function(format!("{}/Fabric", d.name()), |b| {
+            let p = FabricProcessor::new(&ex.g, &fab);
+            b.iter(|| run_batch(&p, &ex.queries.qtype3))
+        });
+        group.bench_function(format!("{}/SDG", d.name()), |b| {
+            let p = GuideProcessor::new(&ex.g, &sdg, &ex.table);
+            b.iter(|| run_batch(&p, &ex.queries.qtype3))
+        });
+        group.bench_function(format!("{}/APEX-0.005", d.name()), |b| {
+            let p = ApexProcessor::new(&ex.g, &apex, &ex.table);
+            b.iter(|| run_batch(&p, &ex.queries.qtype3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qtype3);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Ablations and extensions beyond the paper's evaluation:
+//!
+//! 1. **1-index as a query structure** — the paper discusses it (§2) but
+//!    does not measure it; we run the QTYPE1 set over it.
+//! 2. **No index (naive traversal)** — the floor every index must beat.
+//! 3. **Incremental update vs full rebuild** — update steps and wall
+//!    time for `refine` on a drifted workload, against building a fresh
+//!    APEX⁰ and refining from scratch (§5.3's motivation).
+//! 4. **minSup sensitivity of the hash tree** — required-path counts and
+//!    maximum required length per minSup.
+//! 5. **Page-model validation** — replays a QTYPE1 batch against a real
+//!    file-backed extent store and compares genuine page I/O with the
+//!    cost model's prediction.
+//!
+//! (`cargo run -p apex-bench --release --bin ablation [--scale paper]`)
+
+use std::time::Instant;
+
+use apex_bench::{print_row, print_row_header, Experiment, Scale, MINSUPS};
+use apex_query::apex_qp::ApexProcessor;
+use apex_query::guide_qp::GuideProcessor;
+use apex_query::naive::NaiveProcessor;
+use apex_query::run_batch;
+
+/// Dumps the refined index's extents into a real file-backed store,
+/// replays the QTYPE1 batch reading every touched extent from disk with
+/// a per-query cache (mirroring the cost model's buffer pool), and
+/// returns `(model_pages, real_pages)`.
+fn validate_page_model(ex: &Experiment, apex: &apex::Apex) -> (u64, u64) {
+    use apex_storage::{ExtentStore, PageModel};
+    use std::collections::HashMap;
+
+    // Model-side: run the (capped) batch through the normal processor.
+    let qp = ApexProcessor::new(&ex.g, apex, &ex.table);
+    let cap = ex.queries.qtype1.len().min(500);
+    let model = run_batch(&qp, &ex.queries.qtype1[..cap]).cost.pages_read;
+
+    // Real-side: write extents to disk, replay the segment/extent access
+    // pattern with genuine reads.
+    let mut path = std::env::temp_dir();
+    path.push(format!("apex-validate-{}-{}", ex.dataset.name(), std::process::id()));
+    let mut store = ExtentStore::create(&path, PageModel::default()).expect("create store");
+    let mut ids: HashMap<u32, apex_storage::ExtentId> = HashMap::new();
+    for x in apex.graph().reachable(apex.xroot()) {
+        let id = store.append(apex.extent(x)).expect("append extent");
+        ids.insert(x.0, id);
+    }
+    for q in ex.queries.qtype1.iter().take(500) {
+        let Some(labels) = q.labels() else { continue };
+        let mut touched: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for j in (1..=labels.len()).rev() {
+            let seg = apex.segment_nodes(&labels[..j]);
+            for x in &seg.xnodes {
+                if touched.insert(x.0) {
+                    let _ = store.read(ids[&x.0]).expect("read extent");
+                }
+            }
+            if seg.exact {
+                break;
+            }
+        }
+    }
+    let real = store.pages_read();
+    let _ = std::fs::remove_file(&path);
+    (model, real)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+
+    println!("Ablation 1+2: QTYPE1 over 1-index and naive traversal");
+    println!("(capped at 1000 queries per batch — the 1-index product on the");
+    println!(" largest quotient graphs costs like the SDG's; fig13 covers that)\n");
+    print_row_header();
+    for d in scale.datasets() {
+        let ex = Experiment::new(d, scale);
+        let cap = ex.queries.qtype1.len().min(1000);
+        let queries = &ex.queries.qtype1[..cap];
+        let oneidx = ex.oneindex();
+        let stats = run_batch(&GuideProcessor::new(&ex.g, &oneidx, &ex.table), queries);
+        print_row(d.name(), "1-index", &stats);
+        let stats = run_batch(&NaiveProcessor::new(&ex.g, &ex.table), queries);
+        print_row(d.name(), "naive", &stats);
+        let apex = ex.apex_at(0.005);
+        let stats = run_batch(&ApexProcessor::new(&ex.g, &apex, &ex.table), queries);
+        print_row(d.name(), "APEX(0.005)", &stats);
+        println!();
+    }
+
+    println!("\nAblation 3: incremental update vs rebuild (workload drift)\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>14} {:>14}",
+        "dataset", "incr-steps", "incr-ms", "rebuild-steps", "rebuild-ms"
+    );
+    for d in scale.datasets() {
+        let ex = Experiment::new(d, scale);
+        // Split the workload in two halves: tune to the first, then
+        // drift to the second.
+        let all: Vec<_> = ex.queries.workload.iter().cloned().collect();
+        let (w1, w2) = all.split_at(all.len() / 2);
+        let wl1 = apex::Workload::from_paths(w1.to_vec());
+        let wl2 = apex::Workload::from_paths(w2.to_vec());
+
+        let mut incr = ex.apex0.clone();
+        incr.refine(&ex.g, &wl1, 0.005);
+        let t = Instant::now();
+        let steps_incr = incr.refine(&ex.g, &wl2, 0.005);
+        let incr_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let mut fresh = apex::Apex::build_initial(&ex.g);
+        let steps_fresh = fresh.refine(&ex.g, &wl2, 0.005);
+        let fresh_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        println!(
+            "{:<18} {:>12} {:>12.1} {:>14} {:>14.1}",
+            d.name(),
+            steps_incr,
+            incr_ms,
+            steps_fresh,
+            fresh_ms
+        );
+        assert_eq!(
+            incr.required_paths(&ex.g),
+            fresh.required_paths(&ex.g),
+            "incremental and rebuilt indexes must encode the same paths"
+        );
+    }
+
+    println!("\nAblation 5: page-model validation against real file I/O\n");
+    println!(
+        "{:<18} {:>14} {:>14} {:>8}",
+        "dataset", "model-pages", "real-pages", "ratio"
+    );
+    for d in scale.datasets() {
+        let ex = Experiment::new(d, scale);
+        let apex = ex.apex_at(0.005);
+        let (model, real) = validate_page_model(&ex, &apex);
+        println!(
+            "{:<18} {:>14} {:>14} {:>8.2}",
+            d.name(),
+            model,
+            real,
+            real as f64 / model.max(1) as f64
+        );
+    }
+
+    println!("\nAblation 4: hash-tree shape per minSup\n");
+    println!(
+        "{:<18} {:>8} {:>16} {:>16}",
+        "dataset", "minSup", "required-paths", "max-length"
+    );
+    for d in scale.datasets() {
+        let ex = Experiment::new(d, scale);
+        for ms in MINSUPS {
+            let apex = ex.apex_at(ms);
+            let s = apex.stats();
+            println!(
+                "{:<18} {:>8} {:>16} {:>16}",
+                d.name(),
+                ms,
+                s.hash_entries,
+                s.max_required_len
+            );
+        }
+    }
+}

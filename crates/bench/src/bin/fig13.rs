@@ -1,0 +1,49 @@
+//! Figure 13: total execution cost of the QTYPE1 query set
+//! (`//l_i/…/l_n`, 5000 queries at paper scale) on the strong DataGuide,
+//! APEX⁰, and APEX as minSup varies over {0.002 … 0.05}.
+//! (`cargo run -p apex-bench --release --bin fig13 [--scale paper]`)
+
+use apex_bench::{print_row, print_row_header, Experiment, Scale, MINSUPS};
+use apex_query::apex_qp::ApexProcessor;
+use apex_query::guide_qp::GuideProcessor;
+use apex_query::run_batch;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 13: total execution cost of QTYPE1 queries vs minSup\n");
+    print_row_header();
+    for d in scale.datasets() {
+        let ex = Experiment::new(d, scale);
+        println!(
+            "# {} — {} queries ({:.0}% simple)",
+            d.name(),
+            ex.queries.qtype1.len(),
+            ex.queries.simple_fraction * 100.0
+        );
+
+        let sdg = ex.dataguide();
+        let stats = run_batch(
+            &GuideProcessor::new(&ex.g, &sdg, &ex.table),
+            &ex.queries.qtype1,
+        );
+        print_row(d.name(), "SDG", &stats);
+
+        let stats = run_batch(
+            &ApexProcessor::new(&ex.g, &ex.apex0, &ex.table),
+            &ex.queries.qtype1,
+        );
+        print_row(d.name(), "APEX0", &stats);
+
+        for ms in MINSUPS {
+            let apex = ex.apex_at(ms);
+            let stats = run_batch(
+                &ApexProcessor::new(&ex.g, &apex, &ex.table),
+                &ex.queries.qtype1,
+            );
+            print_row(d.name(), &format!("APEX({ms})"), &stats);
+        }
+        println!();
+    }
+    println!("Expected shape (paper): SDG worst and worsening with irregularity;");
+    println!("APEX best around minSup 0.005; APEX0 the upper bound of the APEX family.");
+}

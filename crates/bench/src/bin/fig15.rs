@@ -1,0 +1,47 @@
+//! Figure 15: total evaluation cost of QTYPE3 queries
+//! (`//l_1/…/l_n[text() = value]`, 1000 at paper scale) on the Index
+//! Fabric, the strong DataGuide, and APEX with minSup = 0.005. The paper
+//! plots log scale: the Fabric wins on regular data (answers from the
+//! trie alone, no data-table probes) and loses badly on irregular data
+//! (whole-trie traversal over exploded key sets).
+//! (`cargo run -p apex-bench --release --bin fig15 [--scale paper]`)
+
+use apex_bench::{print_row, print_row_header, Experiment, Scale};
+use apex_query::apex_qp::ApexProcessor;
+use apex_query::fabric_qp::FabricProcessor;
+use apex_query::guide_qp::GuideProcessor;
+use apex_query::run_batch;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Figure 15: total evaluation cost of QTYPE3 queries [paper: log scale]\n");
+    print_row_header();
+    for d in scale.fig14_15_datasets() {
+        let ex = Experiment::new(d, scale);
+
+        let fab = ex.fabric();
+        let stats = run_batch(
+            &FabricProcessor::new(&ex.g, &fab),
+            &ex.queries.qtype3,
+        );
+        let trunc = if fab.truncated { " (truncated keys)" } else { "" };
+        print_row(d.name(), &format!("Fabric{trunc}"), &stats);
+
+        let sdg = ex.dataguide();
+        let stats = run_batch(
+            &GuideProcessor::new(&ex.g, &sdg, &ex.table),
+            &ex.queries.qtype3,
+        );
+        print_row(d.name(), "SDG", &stats);
+
+        let apex = ex.apex_at(0.005);
+        let stats = run_batch(
+            &ApexProcessor::new(&ex.g, &apex, &ex.table),
+            &ex.queries.qtype3,
+        );
+        print_row(d.name(), "APEX(0.005)", &stats);
+        println!();
+    }
+    println!("Expected shape (paper): Fabric best on Play data, worst on Flix/Ged;");
+    println!("APEX best on irregular data.");
+}

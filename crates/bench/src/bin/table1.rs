@@ -1,0 +1,48 @@
+//! Table 1: characteristics of the experiment data sets
+//! (`cargo run -p apex-bench --release --bin table1 [--scale paper]`).
+
+use apex_bench::Scale;
+use xmlgraph::paths::EnumLimits;
+use xmlgraph::stats::GraphStats;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 1: characteristics of the data sets (ours vs paper)\n");
+    println!(
+        "{:<18} {:>9} {:>9} {:>11} | {:>9} {:>9} {:>11}",
+        "Data Set", "nodes", "edges", "labels", "paper-n", "paper-e", "paper-l"
+    );
+    for d in scale.datasets() {
+        let g = d.generate();
+        let s = GraphStats::compute(&g, EnumLimits { max_len: 8, max_paths: 50_000 });
+        println!(
+            "{:<18} {:>9} {:>9} {:>7}({:>2}) | {:>9} {:>9} {:>7}({:>2})",
+            d.name(),
+            s.nodes,
+            s.edges,
+            s.labels,
+            s.idref_labels,
+            d.paper_nodes(),
+            d.paper_edges(),
+            d.paper_labels(),
+            d.paper_idref_labels(),
+        );
+    }
+    println!("\n(irregularity diagnostics)");
+    println!(
+        "{:<18} {:>14} {:>9} {:>9} {:>10}",
+        "Data Set", "rooted-paths", "depth", "fanout", "ref-edges"
+    );
+    for d in scale.datasets() {
+        let g = d.generate();
+        let s = GraphStats::compute(&g, EnumLimits { max_len: 8, max_paths: 50_000 });
+        println!(
+            "{:<18} {:>14} {:>9} {:>9.2} {:>10}",
+            d.name(),
+            s.distinct_rooted_paths,
+            s.max_depth,
+            s.avg_fanout,
+            s.ref_edges
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 2: statistics of index structures — nodes/edges of the strong
+//! DataGuide, APEX⁰, and APEX at minSup ∈ {0.002, 0.005, 0.01, 0.03,
+//! 0.05}, plus (our extension) the 1-index.
+//! (`cargo run -p apex-bench --release --bin table2 [--scale paper]`)
+
+use apex_bench::{Experiment, Scale, MINSUPS};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 2: statistics of index structures\n");
+    println!(
+        "{:<18} {:<7} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "dataset", "", "SDG", "1-index", "APEX0", "0.002", "0.005", "0.01", "0.03", "0.05"
+    );
+    for d in scale.datasets() {
+        let ex = Experiment::new(d, scale);
+        let sdg = ex.dataguide();
+        let oneidx = ex.oneindex();
+        let apexes: Vec<_> = MINSUPS.iter().map(|&ms| ex.apex_at(ms)).collect();
+        let s0 = ex.apex0.stats();
+        print!(
+            "{:<18} {:<7} {:>9} {:>9} {:>8}",
+            d.name(),
+            "nodes",
+            sdg.node_count(),
+            oneidx.node_count(),
+            s0.nodes
+        );
+        for a in &apexes {
+            print!(" {:>8}", a.stats().nodes);
+        }
+        println!();
+        print!(
+            "{:<18} {:<7} {:>9} {:>9} {:>8}",
+            "",
+            "edges",
+            sdg.edge_count(),
+            oneidx.edge_count(),
+            s0.edges
+        );
+        for a in &apexes {
+            print!(" {:>8}", a.stats().edges);
+        }
+        println!();
+    }
+    println!("\n(APEX columns are minSup values, built from the 20% QTYPE1 workload sample)");
+}

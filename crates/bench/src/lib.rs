@@ -1,0 +1,187 @@
+//! # apex-bench — experiment harness for the paper's evaluation
+//!
+//! One [`Experiment`] per dataset: the graph, data table, query sets at
+//! the paper's counts (scaled down at the `small` scale), `APEX⁰`, and
+//! constructors for every other index. The `table1`/`table2`/`fig13`/
+//! `fig14`/`fig15`/`ablation` binaries print the corresponding rows; the
+//! Criterion benches in `benches/` time the per-query-set batches.
+//!
+//! ## Scales
+//!
+//! * `small` — four_tragedy / Flix01 / Ged01 with reduced query counts;
+//!   finishes in seconds. The default.
+//! * `paper` — all nine datasets of Table 1 with the paper's query
+//!   counts (5000 / 500 / 1000); minutes. Select with `--scale paper`
+//!   or `APEX_SCALE=paper`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apex::{Apex, Workload};
+use apex_query::generator::{GeneratorConfig, QuerySets};
+use apex_storage::{DataTable, PageModel};
+use datagen::Dataset;
+use dataguide::DataGuide;
+use fabric::IndexFabric;
+use oneindex::OneIndex;
+use xmlgraph::paths::EnumLimits;
+use xmlgraph::XmlGraph;
+
+/// The minSup sweep of Table 2 and Figure 13.
+pub const MINSUPS: [f64; 5] = [0.002, 0.005, 0.01, 0.03, 0.05];
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small datasets, reduced query counts (seconds).
+    Small,
+    /// The paper's nine datasets and query counts (minutes).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale <small|paper>` from argv or `APEX_SCALE` from the
+    /// environment; defaults to `Small`.
+    pub fn from_env() -> Scale {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--scale" {
+                if let Some(v) = args.next() {
+                    return Scale::parse(&v);
+                }
+            } else if let Some(v) = a.strip_prefix("--scale=") {
+                return Scale::parse(v);
+            }
+        }
+        match std::env::var("APEX_SCALE") {
+            Ok(v) => Scale::parse(&v),
+            Err(_) => Scale::Small,
+        }
+    }
+
+    fn parse(v: &str) -> Scale {
+        match v {
+            "paper" | "full" => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Datasets evaluated at this scale.
+    pub fn datasets(self) -> Vec<Dataset> {
+        match self {
+            Scale::Small => vec![Dataset::FourTragedy, Dataset::Flix01, Dataset::Ged01],
+            Scale::Paper => Dataset::all().to_vec(),
+        }
+    }
+
+    /// Datasets for Figures 14/15 (the paper omits the smallest of each
+    /// family there).
+    pub fn fig14_15_datasets(self) -> Vec<Dataset> {
+        match self {
+            Scale::Small => vec![Dataset::FourTragedy, Dataset::Flix01, Dataset::Ged01],
+            Scale::Paper => vec![
+                Dataset::Shakes11,
+                Dataset::ShakesAll,
+                Dataset::Flix02,
+                Dataset::Flix03,
+                Dataset::Ged02,
+                Dataset::Ged03,
+            ],
+        }
+    }
+
+    /// Query-set sizes `(qtype1, qtype2, qtype3)`.
+    pub fn query_counts(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Small => (1000, 150, 250),
+            Scale::Paper => (5000, 500, 1000),
+        }
+    }
+}
+
+/// A fully prepared experiment over one dataset.
+pub struct Experiment {
+    /// Which dataset.
+    pub dataset: Dataset,
+    /// The data graph.
+    pub g: XmlGraph,
+    /// The value table.
+    pub table: DataTable,
+    /// Generated query sets + tuning workload.
+    pub queries: QuerySets,
+    /// APEX⁰.
+    pub apex0: Apex,
+}
+
+impl Experiment {
+    /// Builds the experiment for `d` at `scale`.
+    pub fn new(d: Dataset, scale: Scale) -> Experiment {
+        let g = d.generate();
+        let table = DataTable::build(&g, PageModel::default());
+        let (q1, q2, q3) = scale.query_counts();
+        let cfg = GeneratorConfig {
+            qtype1: q1,
+            qtype2: q2,
+            qtype3: q3,
+            workload_fraction: 0.20,
+            seed: 0x5EED ^ d.paper_nodes() as u64,
+            limits: EnumLimits { max_len: 12, max_paths: 100_000 },
+        };
+        let queries = QuerySets::generate(&g, &table, cfg);
+        let apex0 = Apex::build_initial(&g);
+        Experiment { dataset: d, g, table, queries, apex0 }
+    }
+
+    /// A refined APEX at `min_sup` (from a clone of `APEX⁰`, using the
+    /// 20 % workload sample — the paper's procedure).
+    pub fn apex_at(&self, min_sup: f64) -> Apex {
+        let mut idx = self.apex0.clone();
+        idx.refine(&self.g, &self.queries.workload, min_sup);
+        idx
+    }
+
+    /// A refined APEX for an explicit workload.
+    pub fn apex_with(&self, wl: &Workload, min_sup: f64) -> Apex {
+        let mut idx = self.apex0.clone();
+        idx.refine(&self.g, wl, min_sup);
+        idx
+    }
+
+    /// The strong DataGuide.
+    pub fn dataguide(&self) -> DataGuide {
+        DataGuide::build(&self.g)
+    }
+
+    /// The 1-index.
+    pub fn oneindex(&self) -> OneIndex {
+        OneIndex::build(&self.g)
+    }
+
+    /// The Index Fabric.
+    pub fn fabric(&self) -> IndexFabric {
+        IndexFabric::build(&self.g)
+    }
+}
+
+/// Prints the standard figure-row header.
+pub fn print_row_header() {
+    println!(
+        "{:<18} {:<12} {:>9} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "dataset", "index", "queries", "pages", "idx-edges", "join-work", "results", "wall-ms"
+    );
+}
+
+/// Prints one figure row from a batch result.
+pub fn print_row(dataset: &str, index: &str, stats: &apex_query::BatchStats) {
+    println!(
+        "{:<18} {:<12} {:>9} {:>12} {:>12} {:>12} {:>10} {:>10.1}",
+        dataset,
+        index,
+        stats.queries,
+        stats.cost.pages_read,
+        stats.cost.index_edges,
+        stats.cost.join_work,
+        stats.result_nodes,
+        stats.wall.as_secs_f64() * 1e3
+    );
+}

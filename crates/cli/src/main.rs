@@ -1,0 +1,209 @@
+//! `apex-cli` — an interactive shell over the APEX index.
+//!
+//! ```bash
+//! apex-cli --file data.xml          # load an XML file
+//! apex-cli --dataset Flix01         # or a generated Table 1 dataset
+//! apex-cli --dataset ged --size 200 # or a custom-size family instance
+//! ```
+//!
+//! Commands inside the shell:
+//!
+//! ```text
+//! > //actor/name                 evaluate a query (QTYPE1/2/3 syntax)
+//! > explain //actor/name         show the plan without executing
+//! > tune 0.005                   refine with the recorded workload
+//! > workload                     show the recorded query window
+//! > stats                        index statistics
+//! > required                     current required paths
+//! > labels                       label alphabet
+//! > save out.idx / load out.idx  persist / restore the index
+//! > help, quit
+//! ```
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+
+use apex::{persist, Apex, RefreshPolicy, WorkloadMonitor};
+use apex_query::apex_qp::ApexProcessor;
+use apex_query::batch::QueryProcessor;
+use apex_query::explain::explain_apex;
+use apex_query::Query;
+use apex_storage::{DataTable, PageModel};
+use xmlgraph::{LabelPath, XmlGraph};
+
+mod repl;
+
+use repl::{Command, ReplError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let g = match load_graph(&args) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: apex-cli --file <xml> | --dataset <Table1-name|play|flix|ged> [--size N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "loaded graph: {} nodes, {} edges, {} labels ({} IDREF)",
+        g.node_count(),
+        g.edge_count(),
+        g.label_count(),
+        g.idref_labels().len()
+    );
+
+    let table = DataTable::build(&g, PageModel::default());
+    let mut index = Apex::build_initial(&g);
+    let mut monitor = WorkloadMonitor::new(1000, 0.1, RefreshPolicy::Manual);
+    println!("APEX0 ready: {:?}", index.stats());
+    println!("type `help` for commands");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("apex> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match repl::parse_command(&line) {
+            Err(ReplError::Empty) => continue,
+            Err(ReplError::Unknown(cmd)) => {
+                println!("unknown command `{cmd}` — try `help`");
+            }
+            Ok(Command::Quit) => break,
+            Ok(Command::Help) => println!("{}", repl::HELP),
+            Ok(Command::Stats) => println!("{:?}", index.stats()),
+            Ok(Command::Labels) => {
+                let mut names: Vec<&str> = g.labels().iter().map(|(_, s)| s).collect();
+                names.sort_unstable();
+                println!("{}", names.join(" "));
+            }
+            Ok(Command::Required) => {
+                for p in index.required_paths(&g) {
+                    println!("  {p}");
+                }
+            }
+            Ok(Command::Workload) => {
+                let wl = monitor.workload();
+                println!("{} queries recorded since last tune", monitor.since_refresh());
+                let mut rendered: Vec<String> =
+                    wl.iter().map(|p| p.render(&g)).collect();
+                rendered.sort();
+                rendered.dedup();
+                for r in rendered.iter().take(30) {
+                    println!("  {r}");
+                }
+            }
+            Ok(Command::Tune(min_sup)) => {
+                let steps = monitor.refresh_at(&g, &mut index, min_sup);
+                println!("refined at minSup {min_sup} in {steps} update steps");
+                println!("{:?}", index.stats());
+            }
+            Ok(Command::Save(path)) => {
+                match std::fs::File::create(&path) {
+                    Ok(f) => {
+                        let mut w = BufWriter::new(f);
+                        match persist::save(&index, &mut w) {
+                            Ok(()) => println!("saved to {path}"),
+                            Err(e) => println!("save failed: {e}"),
+                        }
+                    }
+                    Err(e) => println!("cannot create {path}: {e}"),
+                }
+            }
+            Ok(Command::Load(path)) => match std::fs::File::open(&path) {
+                Ok(f) => match persist::load(&mut BufReader::new(f)) {
+                    Ok(idx) => {
+                        index = idx;
+                        println!("loaded {path}: {:?}", index.stats());
+                    }
+                    Err(e) => println!("load failed: {e}"),
+                },
+                Err(e) => println!("cannot open {path}: {e}"),
+            },
+            Ok(Command::Explain(text)) => match Query::parse(&g, &text) {
+                Ok(q) => print!("{}", explain_apex(&index, &q).render(&g, &q)),
+                Err(e) => println!("parse error: {e}"),
+            },
+            Ok(Command::Eval(text)) => match Query::parse(&g, &text) {
+                Ok(q) => {
+                    if let Some(labels) = q.labels() {
+                        monitor.record(LabelPath::new(labels.to_vec()));
+                    }
+                    let qp = ApexProcessor::new(&g, &index, &table);
+                    let started = std::time::Instant::now();
+                    let res = qp.eval(&q);
+                    let elapsed = started.elapsed();
+                    for n in res.nodes.iter().take(20) {
+                        let tag = g.label_str(g.tag(*n));
+                        match g.value(*n) {
+                            Some(v) => println!("  node {} <{}> \"{}\"", n.0, tag, v),
+                            None => println!("  node {} <{}>", n.0, tag),
+                        }
+                    }
+                    if res.nodes.len() > 20 {
+                        println!("  … {} more", res.nodes.len() - 20);
+                    }
+                    println!(
+                        "{} node(s) in {:.2} ms | {}",
+                        res.nodes.len(),
+                        elapsed.as_secs_f64() * 1e3,
+                        res.cost
+                    );
+                }
+                Err(e) => println!("parse error: {e}"),
+            },
+        }
+    }
+    println!("bye");
+}
+
+fn load_graph(args: &[String]) -> Result<XmlGraph, String> {
+    let mut file: Option<String> = None;
+    let mut dataset: Option<String> = None;
+    let mut size: usize = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--file" => file = it.next().cloned(),
+            "--dataset" => dataset = it.next().cloned(),
+            "--size" => {
+                size = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--size needs a number")?
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if let Some(path) = file {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        return xmlgraph::parser::parse(&text).map_err(|e| e.to_string());
+    }
+    let Some(name) = dataset else {
+        return Err("need --file or --dataset".into());
+    };
+    // Table 1 names first, then family shorthands.
+    for d in datagen::Dataset::all() {
+        if d.name().eq_ignore_ascii_case(&name)
+            || d.name().trim_end_matches(".xml").eq_ignore_ascii_case(&name)
+        {
+            return Ok(d.generate());
+        }
+    }
+    match name.to_ascii_lowercase().as_str() {
+        "play" | "shakespeare" => Ok(datagen::shakespeare(size.max(1).min(38), 42)),
+        "flix" | "flixml" => Ok(datagen::flixml(size.max(30), 42)),
+        "ged" | "gedml" => Ok(datagen::gedml(size.max(60), 42)),
+        other => Err(format!("unknown dataset `{other}`")),
+    }
+}

@@ -1,0 +1,100 @@
+//! Visualization/debug rendering of APEX structures: `G_APEX` as
+//! Graphviz DOT (the paper's Figure 2 style) and `H_APEX` as an
+//! indented text tree (Figure 7 style).
+
+use std::fmt::Write as _;
+
+use xmlgraph::XmlGraph;
+
+use crate::hashtree::HNodeId;
+use crate::index::Apex;
+
+/// Renders the reachable part of `G_APEX` as a DOT digraph. Each class
+/// node shows its incoming label and extent size.
+pub fn gapex_to_dot(g: &XmlGraph, apex: &Apex) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph gapex {{");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for x in apex.graph().reachable(apex.xroot()) {
+        let label = match apex.incoming_label(x) {
+            None => format!("&{} xroot", x.0),
+            Some(l) => format!("&{} {} |{}|", x.0, g.label_str(l), apex.extent(x).len()),
+        };
+        let _ = writeln!(out, "  x{} [label=\"{}\"];", x.0, label);
+    }
+    for x in apex.graph().reachable(apex.xroot()) {
+        for &(l, t) in apex.out_edges(x) {
+            let _ = writeln!(out, "  x{} -> x{} [label=\"{}\"];", x.0, t.0, g.label_str(l));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `H_APEX` as an indented text tree in the paper's Figure 7
+/// style: one line per entry with count, xnode and remainder pointers.
+pub fn hashtree_to_text(g: &XmlGraph, apex: &Apex) -> String {
+    let mut out = String::from("HashHead\n");
+    render_hnode(g, apex, apex.hash_tree().head(), 1, &mut out);
+    out
+}
+
+fn render_hnode(g: &XmlGraph, apex: &Apex, h: HNodeId, depth: usize, out: &mut String) {
+    let ht = apex.hash_tree();
+    let node = ht.node(h);
+    let mut entries: Vec<_> = node.entries_iter().collect();
+    entries.sort_by_key(|(l, _)| g.label_str(*l).to_string());
+    for (label, e) in entries {
+        let _ = writeln!(
+            out,
+            "{}{} count={}{}{}",
+            "  ".repeat(depth),
+            g.label_str(label),
+            e.count,
+            e.xnode.map(|x| format!(" xnode=&{}", x.0)).unwrap_or_default(),
+            if e.next.is_some() { " ↓" } else { "" },
+        );
+        if let Some(next) = e.next {
+            render_hnode(g, apex, next, depth + 1, out);
+        }
+    }
+    if let Some(r) = node.remainder {
+        let _ = writeln!(out, "{}remainder xnode=&{}", "  ".repeat(depth), r.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use xmlgraph::builder::moviedb;
+
+    fn figure2() -> (XmlGraph, Apex) {
+        let g = moviedb();
+        let mut idx = Apex::build_initial(&g);
+        let wl = Workload::parse(&g, &["actor.name"]).unwrap();
+        idx.refine(&g, &wl, 0.5);
+        (g, idx)
+    }
+
+    #[test]
+    fn gapex_dot_contains_classes() {
+        let (g, idx) = figure2();
+        let dot = gapex_to_dot(&g, &idx);
+        assert!(dot.contains("xroot"));
+        assert!(dot.contains("actor"));
+        assert!(dot.contains("digraph gapex"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn hashtree_text_shows_chain_and_remainder() {
+        let (g, idx) = figure2();
+        let text = hashtree_to_text(&g, &idx);
+        // `name` has a subnode (actor.name required) with a remainder.
+        assert!(text.contains("name"), "{text}");
+        assert!(text.contains('↓'), "{text}");
+        assert!(text.contains("remainder"), "{text}");
+        assert!(text.contains("actor count="), "{text}");
+    }
+}

@@ -1,0 +1,198 @@
+//! `G_APEX` — the graph half of APEX (Definition 10).
+
+use apex_storage::EdgeSet;
+use xmlgraph::LabelId;
+
+/// Identifier of a `G_APEX` node (arena index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct XNodeId(pub u32);
+
+impl XNodeId {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node of `G_APEX`: an extent (the target edge set `T^R(p)` of its
+/// incoming label path) plus labeled edges to other nodes.
+///
+/// By construction a node has at most one outgoing edge per label: the
+/// target is determined by `H_APEX` lookup of the extended path.
+#[derive(Debug, Clone)]
+pub struct XNode {
+    /// The extent: incoming data edges of the nodes this class represents.
+    pub extent: EdgeSet,
+    /// Outgoing edges, at most one per label.
+    pub edges: Vec<(LabelId, XNodeId)>,
+    /// The last label of the node's incoming label path (`None` only for
+    /// the root, whose special incoming label is `xroot`).
+    pub incoming: Option<LabelId>,
+    /// Traversal flag used by `updateAPEX` (reset before each update).
+    pub visited: bool,
+}
+
+/// Arena of [`XNode`]s. Nodes orphaned by incremental updates simply
+/// become unreachable; [`GApex::reachable_stats`] reports live size.
+#[derive(Debug, Clone, Default)]
+pub struct GApex {
+    nodes: Vec<XNode>,
+}
+
+impl GApex {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a node with the given incoming label.
+    pub fn new_node(&mut self, incoming: Option<LabelId>) -> XNodeId {
+        let id = XNodeId(self.nodes.len() as u32);
+        self.nodes.push(XNode {
+            extent: EdgeSet::new(),
+            edges: Vec::new(),
+            incoming,
+            visited: false,
+        });
+        id
+    }
+
+    /// Total allocated nodes (including unreachable ones).
+    pub fn allocated(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable node access.
+    #[inline]
+    pub fn node(&self, x: XNodeId) -> &XNode {
+        &self.nodes[x.idx()]
+    }
+
+    /// Mutable node access.
+    #[inline]
+    pub fn node_mut(&mut self, x: XNodeId) -> &mut XNode {
+        &mut self.nodes[x.idx()]
+    }
+
+    /// The extent of `x`.
+    #[inline]
+    pub fn extent(&self, x: XNodeId) -> &EdgeSet {
+        &self.nodes[x.idx()].extent
+    }
+
+    /// The child of `x` along `label`, if wired.
+    pub fn child(&self, x: XNodeId, label: LabelId) -> Option<XNodeId> {
+        self.nodes[x.idx()]
+            .edges
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, t)| *t)
+    }
+
+    /// The paper's `make_edge(x, y, l)`: creates an edge from `x` to `y`
+    /// labeled `l`; if `x` already has an `l`-edge to a *different* node,
+    /// it is retargeted to `y` (Figure 11's retargeting step). Returns
+    /// true if anything changed.
+    pub fn make_edge(&mut self, x: XNodeId, y: XNodeId, label: LabelId) -> bool {
+        let edges = &mut self.nodes[x.idx()].edges;
+        if let Some(slot) = edges.iter_mut().find(|(l, _)| *l == label) {
+            if slot.1 == y {
+                return false;
+            }
+            slot.1 = y;
+            true
+        } else {
+            edges.push((label, y));
+            true
+        }
+    }
+
+    /// Clears all `visited` flags (run before each `updateAPEX`).
+    pub fn reset_visited(&mut self) {
+        for n in &mut self.nodes {
+            n.visited = false;
+        }
+    }
+
+    /// Nodes and edges reachable from `root` — the index size that
+    /// Table 2 of the paper reports.
+    pub fn reachable_stats(&self, root: XNodeId) -> (usize, usize) {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        seen[root.idx()] = true;
+        let (mut nodes, mut edges) = (0usize, 0usize);
+        while let Some(x) = stack.pop() {
+            nodes += 1;
+            for &(_, t) in &self.nodes[x.idx()].edges {
+                edges += 1;
+                if !seen[t.idx()] {
+                    seen[t.idx()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        (nodes, edges)
+    }
+
+    /// Ids of nodes reachable from `root`.
+    pub fn reachable(&self, root: XNodeId) -> Vec<XNodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut out = Vec::new();
+        seen[root.idx()] = true;
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            for &(_, t) in &self.nodes[x.idx()].edges {
+                if !seen[t.idx()] {
+                    seen[t.idx()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_edge_adds_and_retargets() {
+        let mut g = GApex::new();
+        let a = g.new_node(None);
+        let b = g.new_node(Some(LabelId(1)));
+        let c = g.new_node(Some(LabelId(1)));
+        assert!(g.make_edge(a, b, LabelId(1)));
+        assert_eq!(g.child(a, LabelId(1)), Some(b));
+        // Same edge again: no change.
+        assert!(!g.make_edge(a, b, LabelId(1)));
+        // Retarget to c.
+        assert!(g.make_edge(a, c, LabelId(1)));
+        assert_eq!(g.child(a, LabelId(1)), Some(c));
+        assert_eq!(g.node(a).edges.len(), 1);
+    }
+
+    #[test]
+    fn reachable_ignores_orphans() {
+        let mut g = GApex::new();
+        let root = g.new_node(None);
+        let a = g.new_node(Some(LabelId(0)));
+        let _orphan = g.new_node(Some(LabelId(9)));
+        g.make_edge(root, a, LabelId(0));
+        g.make_edge(a, a, LabelId(0)); // self-loop
+        let (n, e) = g.reachable_stats(root);
+        assert_eq!((n, e), (2, 2));
+        assert_eq!(g.allocated(), 3);
+        assert_eq!(g.reachable(root).len(), 2);
+    }
+
+    #[test]
+    fn visited_flags_reset() {
+        let mut g = GApex::new();
+        let a = g.new_node(None);
+        g.node_mut(a).visited = true;
+        g.reset_visited();
+        assert!(!g.node(a).visited);
+    }
+}

@@ -1,0 +1,245 @@
+//! Workload monitoring and refresh policy — the outer loop of the
+//! paper's Figure 4 architecture.
+//!
+//! The paper assumes "a database system keeps the set of queries" and
+//! re-runs extraction + update "whenever query workloads change …
+//! (e.g., by request or periodical)". [`WorkloadMonitor`] is that
+//! component: it records incoming label-path queries in a sliding
+//! window and signals when a refresh is due, either periodically (every
+//! N queries) or on *drift* (the windowed support of currently-required
+//! multi-label paths decays below the threshold).
+
+use std::collections::VecDeque;
+
+use xmlgraph::{LabelPath, XmlGraph};
+
+use crate::index::Apex;
+use crate::workload::Workload;
+
+/// When to re-run extraction + update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefreshPolicy {
+    /// Refine after every `n` recorded queries ("periodical").
+    EveryN(usize),
+    /// Refine only when [`WorkloadMonitor::refresh_due`] detects drift:
+    /// some multi-label required path's windowed support fell below
+    /// `min_sup × slack`, or a non-required subpath's support rose above
+    /// `min_sup / slack`.
+    OnDrift {
+        /// Tolerance factor (> 1.0); larger = fewer refreshes.
+        slack: f64,
+    },
+    /// Never refresh automatically (by request only).
+    Manual,
+}
+
+/// Sliding-window workload recorder with a refresh policy.
+#[derive(Debug, Clone)]
+pub struct WorkloadMonitor {
+    window: VecDeque<LabelPath>,
+    capacity: usize,
+    min_sup: f64,
+    policy: RefreshPolicy,
+    since_refresh: usize,
+    total_recorded: usize,
+}
+
+impl WorkloadMonitor {
+    /// Creates a monitor keeping the last `capacity` queries.
+    pub fn new(capacity: usize, min_sup: f64, policy: RefreshPolicy) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        WorkloadMonitor {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            min_sup,
+            policy,
+            since_refresh: 0,
+            total_recorded: 0,
+        }
+    }
+
+    /// Records one query.
+    pub fn record(&mut self, q: LabelPath) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(q);
+        self.since_refresh += 1;
+        self.total_recorded += 1;
+    }
+
+    /// The current window as a [`Workload`].
+    pub fn workload(&self) -> Workload {
+        Workload::from_paths(self.window.iter().cloned().collect())
+    }
+
+    /// Queries recorded since the last refresh.
+    pub fn since_refresh(&self) -> usize {
+        self.since_refresh
+    }
+
+    /// Total queries ever recorded.
+    pub fn total_recorded(&self) -> usize {
+        self.total_recorded
+    }
+
+    /// The configured support threshold.
+    pub fn min_sup(&self) -> f64 {
+        self.min_sup
+    }
+
+    /// Decides whether a refresh is due for `index` (per policy).
+    pub fn refresh_due(&self, g: &XmlGraph, index: &Apex) -> bool {
+        if self.window.is_empty() {
+            return false;
+        }
+        match self.policy {
+            RefreshPolicy::Manual => false,
+            RefreshPolicy::EveryN(n) => self.since_refresh >= n,
+            RefreshPolicy::OnDrift { slack } => self.drift_detected(g, index, slack),
+        }
+    }
+
+    /// Drift check: compares the windowed support of the index's current
+    /// multi-label required paths (decayed?) and of the window's hottest
+    /// subpaths (newly frequent?) against `min_sup`.
+    fn drift_detected(&self, g: &XmlGraph, index: &Apex, slack: f64) -> bool {
+        assert!(slack >= 1.0, "slack must be >= 1.0");
+        let wl = self.workload();
+        // Required multi-label paths whose support collapsed.
+        for rendered in index.required_paths(g) {
+            if !rendered.contains('.') {
+                continue;
+            }
+            let Some(path) = LabelPath::parse(g, &rendered) else { continue };
+            if wl.support(&path) < self.min_sup / slack {
+                return true;
+            }
+        }
+        // Newly hot subpaths not yet required.
+        let required = index.required_paths(g);
+        for q in wl.iter() {
+            for sub in q.subpaths() {
+                if sub.len() < 2 {
+                    continue;
+                }
+                if wl.support(&sub) >= self.min_sup * slack
+                    && !required.contains(&sub.render(g))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Runs a refresh if the policy says so; returns the number of
+    /// update steps (`None` if no refresh happened).
+    pub fn maybe_refresh(&mut self, g: &XmlGraph, index: &mut Apex) -> Option<usize> {
+        if !self.refresh_due(g, index) {
+            return None;
+        }
+        Some(self.refresh(g, index))
+    }
+
+    /// Unconditional refresh ("by request").
+    pub fn refresh(&mut self, g: &XmlGraph, index: &mut Apex) -> usize {
+        self.refresh_at(g, index, self.min_sup)
+    }
+
+    /// Unconditional refresh with an explicit threshold (overrides the
+    /// configured `min_sup` for this round and becomes the new setting).
+    pub fn refresh_at(&mut self, g: &XmlGraph, index: &mut Apex, min_sup: f64) -> usize {
+        self.min_sup = min_sup;
+        let wl = self.workload();
+        let steps = index.refine(g, &wl, min_sup);
+        self.since_refresh = 0;
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlgraph::builder::moviedb;
+
+    fn path(g: &XmlGraph, s: &str) -> LabelPath {
+        LabelPath::parse(g, s).unwrap()
+    }
+
+    #[test]
+    fn window_slides() {
+        let g = moviedb();
+        let mut m = WorkloadMonitor::new(3, 0.5, RefreshPolicy::Manual);
+        for s in ["actor.name", "movie.title", "name", "title"] {
+            m.record(path(&g, s));
+        }
+        assert_eq!(m.workload().len(), 3);
+        assert_eq!(m.total_recorded(), 4);
+        // The oldest query fell out of the window.
+        let an = path(&g, "actor.name");
+        assert_eq!(m.workload().support(&an), 0.0);
+    }
+
+    #[test]
+    fn every_n_policy_fires() {
+        let g = moviedb();
+        let mut idx = Apex::build_initial(&g);
+        let mut m = WorkloadMonitor::new(100, 0.4, RefreshPolicy::EveryN(5));
+        for _ in 0..4 {
+            m.record(path(&g, "actor.name"));
+            assert!(m.maybe_refresh(&g, &mut idx).is_none());
+        }
+        m.record(path(&g, "actor.name"));
+        let steps = m.maybe_refresh(&g, &mut idx).expect("5th query triggers");
+        assert!(steps > 0);
+        assert!(idx.required_paths(&g).contains(&"actor.name".to_string()));
+        assert_eq!(m.since_refresh(), 0);
+    }
+
+    #[test]
+    fn drift_policy_detects_new_hot_path() {
+        let g = moviedb();
+        let idx = Apex::build_initial(&g); // only singles required
+        let mut m = WorkloadMonitor::new(100, 0.4, RefreshPolicy::OnDrift { slack: 1.2 });
+        assert!(!m.refresh_due(&g, &idx));
+        for _ in 0..10 {
+            m.record(path(&g, "director.movie"));
+        }
+        assert!(m.refresh_due(&g, &idx), "hot multi-label path must trigger");
+    }
+
+    #[test]
+    fn drift_policy_detects_decayed_required_path() {
+        let g = moviedb();
+        let mut idx = Apex::build_initial(&g);
+        let mut m = WorkloadMonitor::new(10, 0.4, RefreshPolicy::OnDrift { slack: 1.2 });
+        for _ in 0..10 {
+            m.record(path(&g, "actor.name"));
+        }
+        m.refresh(&g, &mut idx);
+        assert!(idx.required_paths(&g).contains(&"actor.name".to_string()));
+        assert!(!m.refresh_due(&g, &idx), "steady workload: no drift");
+        // Workload shifts entirely: actor.name decays out of the window.
+        for _ in 0..10 {
+            m.record(path(&g, "title"));
+        }
+        assert!(m.refresh_due(&g, &idx), "decayed required path must trigger");
+        m.refresh(&g, &mut idx);
+        assert!(!idx.required_paths(&g).contains(&"actor.name".to_string()));
+    }
+
+    #[test]
+    fn manual_policy_never_fires() {
+        let g = moviedb();
+        let mut idx = Apex::build_initial(&g);
+        let mut m = WorkloadMonitor::new(10, 0.4, RefreshPolicy::Manual);
+        for _ in 0..10 {
+            m.record(path(&g, "actor.name"));
+        }
+        assert!(m.maybe_refresh(&g, &mut idx).is_none());
+        // But by-request refresh works.
+        let steps = m.refresh(&g, &mut idx);
+        assert!(steps > 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Binary persistence for [`Apex`] indexes.
+//!
+//! The paper's system keeps its indexes "on a local disk"; this module
+//! provides the corresponding save/load path: a versioned, checksummed,
+//! dependency-free binary format for the full index state (`G_APEX`
+//! nodes with extents and edges, the `H_APEX` entry tree, `xroot`).
+//! Loading reconstructs an index that is bit-for-bit equivalent for
+//! every lookup and query (asserted by round-trip tests).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "APEXIDX1" | u32 xroot
+//! u32 n_xnodes
+//!   per node: u32 incoming(+1; 0 = none) | u8 visited(unused, 0)
+//!             u32 n_extent | (u32 parent, u32 node)*  (NULL = u32::MAX)
+//!             u32 n_edges  | (u32 label, u32 target)*
+//! u32 n_hnodes
+//!   per hnode: u32 remainder(+1; 0 = none)
+//!              u32 n_entries | (u32 label, u32 count, u8 new,
+//!                               u32 xnode(+1), u32 next(+1))*
+//! u64 fnv1a checksum of everything above
+//! ```
+
+use std::io::{self, Read, Write};
+
+use apex_storage::{EdgePair, EdgeSet};
+use xmlgraph::{LabelId, NodeId, NULL_NODE};
+
+use crate::graph::{GApex, XNodeId};
+use crate::hashtree::{Entry, HashTree, HNodeId};
+use crate::index::Apex;
+
+const MAGIC: &[u8; 8] = b"APEXIDX1";
+
+/// Errors from loading a persisted index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic/version header.
+    BadMagic,
+    /// Checksum mismatch (truncated or corrupted file).
+    BadChecksum,
+    /// Structurally invalid content (e.g. out-of-range ids).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic => write!(f, "not an APEX index file"),
+            PersistError::BadChecksum => write!(f, "checksum mismatch"),
+            PersistError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Incrementally updated FNV-1a hasher for the trailing checksum.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// Writer wrapper that checksums everything it emits.
+struct Sink<'a, W: Write> {
+    w: &'a mut W,
+    hash: Fnv,
+}
+
+impl<W: Write> Sink<'_, W> {
+    fn bytes(&mut self, b: &[u8]) -> io::Result<()> {
+        self.hash.update(b);
+        self.w.write_all(b)
+    }
+    fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.bytes(&[v])
+    }
+    fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.bytes(&v.to_le_bytes())
+    }
+}
+
+/// Reader wrapper that checksums everything it consumes.
+struct Source<'a, R: Read> {
+    r: &'a mut R,
+    hash: Fnv,
+}
+
+impl<R: Read> Source<'_, R> {
+    fn bytes(&mut self, buf: &mut [u8]) -> Result<(), PersistError> {
+        self.r.read_exact(buf)?;
+        self.hash.update(buf);
+        Ok(())
+    }
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        let mut b = [0u8; 1];
+        self.bytes(&mut b)?;
+        Ok(b[0])
+    }
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        let mut b = [0u8; 4];
+        self.bytes(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+}
+
+fn opt_plus1<T: Into<u32>>(v: Option<T>) -> u32 {
+    v.map_or(0, |x| x.into() + 1)
+}
+
+impl From<XNodeId> for u32 {
+    fn from(x: XNodeId) -> u32 {
+        x.0
+    }
+}
+
+impl From<HNodeId> for u32 {
+    fn from(h: HNodeId) -> u32 {
+        h.0
+    }
+}
+
+/// Serializes `apex` to `w`.
+pub fn save<W: Write>(apex: &Apex, w: &mut W) -> io::Result<()> {
+    let mut s = Sink { w, hash: Fnv::new() };
+    s.bytes(MAGIC)?;
+    s.u32(apex.xroot().0)?;
+
+    // G_APEX.
+    let ga = apex.graph();
+    s.u32(ga.allocated() as u32)?;
+    for i in 0..ga.allocated() as u32 {
+        let node = ga.node(XNodeId(i));
+        s.u32(node.incoming.map_or(0, |l| l.0 + 1))?;
+        s.u8(0)?; // visited flag is transient
+        s.u32(node.extent.len() as u32)?;
+        for p in node.extent.iter() {
+            s.u32(p.parent.0)?;
+            s.u32(p.node.0)?;
+        }
+        s.u32(node.edges.len() as u32)?;
+        for &(l, t) in &node.edges {
+            s.u32(l.0)?;
+            s.u32(t.0)?;
+        }
+    }
+
+    // H_APEX.
+    let ht = apex.hash_tree();
+    let n_hnodes = ht.allocated();
+    s.u32(n_hnodes as u32)?;
+    for i in 0..n_hnodes as u32 {
+        let hnode = ht.node(HNodeId(i));
+        s.u32(opt_plus1(hnode.remainder))?;
+        let mut entries: Vec<(LabelId, Entry)> = hnode.entries_iter().collect();
+        entries.sort_by_key(|(l, _)| *l); // deterministic output
+        s.u32(entries.len() as u32)?;
+        for (label, e) in entries {
+            s.u32(label.0)?;
+            s.u32(e.count)?;
+            s.u8(e.new as u8)?;
+            s.u32(opt_plus1(e.xnode))?;
+            s.u32(opt_plus1(e.next))?;
+        }
+    }
+
+    let checksum = s.hash.0;
+    s.w.write_all(&checksum.to_le_bytes())
+}
+
+/// Deserializes an index from `r`.
+pub fn load<R: Read>(r: &mut R) -> Result<Apex, PersistError> {
+    let mut s = Source { r, hash: Fnv::new() };
+    let mut magic = [0u8; 8];
+    s.bytes(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let xroot = XNodeId(s.u32()?);
+
+    // G_APEX.
+    let n_xnodes = s.u32()? as usize;
+    if n_xnodes > (1 << 28) {
+        return Err(PersistError::Corrupt("implausible node count"));
+    }
+    let mut ga = GApex::new();
+    for _ in 0..n_xnodes {
+        let incoming = match s.u32()? {
+            0 => None,
+            v => Some(LabelId(v - 1)),
+        };
+        let _visited = s.u8()?;
+        let x = ga.new_node(incoming);
+        let n_extent = s.u32()? as usize;
+        let mut pairs = Vec::with_capacity(n_extent);
+        for _ in 0..n_extent {
+            let parent = s.u32()?;
+            let node = s.u32()?;
+            pairs.push(EdgePair::new(
+                if parent == u32::MAX { NULL_NODE } else { NodeId(parent) },
+                NodeId(node),
+            ));
+        }
+        ga.node_mut(x).extent = EdgeSet::from_pairs(pairs);
+        let n_edges = s.u32()? as usize;
+        for _ in 0..n_edges {
+            let l = LabelId(s.u32()?);
+            let t = XNodeId(s.u32()?);
+            ga.node_mut(x).edges.push((l, t));
+        }
+    }
+    if xroot.0 as usize >= n_xnodes {
+        return Err(PersistError::Corrupt("xroot out of range"));
+    }
+    for i in 0..n_xnodes as u32 {
+        for &(_, t) in &ga.node(XNodeId(i)).edges {
+            if t.0 as usize >= n_xnodes {
+                return Err(PersistError::Corrupt("edge target out of range"));
+            }
+        }
+    }
+
+    // H_APEX.
+    let n_hnodes = s.u32()? as usize;
+    if n_hnodes == 0 || n_hnodes > (1 << 28) {
+        return Err(PersistError::Corrupt("implausible hash-tree size"));
+    }
+    let mut ht = HashTree::with_nodes(n_hnodes);
+    for i in 0..n_hnodes as u32 {
+        let remainder = match s.u32()? {
+            0 => None,
+            v => Some(XNodeId(v - 1)),
+        };
+        ht.set_remainder_raw(HNodeId(i), remainder);
+        let n_entries = s.u32()? as usize;
+        for _ in 0..n_entries {
+            let label = LabelId(s.u32()?);
+            let count = s.u32()?;
+            let new = s.u8()? != 0;
+            let xnode = match s.u32()? {
+                0 => None,
+                v => Some(XNodeId(v - 1)),
+            };
+            let next = match s.u32()? {
+                0 => None,
+                v => {
+                    let h = HNodeId(v - 1);
+                    if (h.0 as usize) >= n_hnodes {
+                        return Err(PersistError::Corrupt("hnode link out of range"));
+                    }
+                    Some(h)
+                }
+            };
+            ht.insert_entry_raw(HNodeId(i), label, Entry { count, new, xnode, next });
+        }
+    }
+
+    let computed = s.hash.0;
+    let mut tail = [0u8; 8];
+    s.r.read_exact(&mut tail)?;
+    if u64::from_le_bytes(tail) != computed {
+        return Err(PersistError::BadChecksum);
+    }
+
+    Ok(Apex::from_parts(ga, ht, xroot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use xmlgraph::builder::moviedb;
+    use xmlgraph::LabelPath;
+
+    fn sample() -> (xmlgraph::XmlGraph, Apex) {
+        let g = moviedb();
+        let mut idx = Apex::build_initial(&g);
+        let wl =
+            Workload::parse(&g, &["actor.name", "director.movie", "@movie.movie"]).unwrap();
+        idx.refine(&g, &wl, 0.1);
+        (g, idx)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (g, idx) = sample();
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+
+        assert_eq!(idx.stats(), loaded.stats());
+        assert_eq!(idx.required_paths(&g), loaded.required_paths(&g));
+        for p in ["actor.name", "director.movie", "name", "movie.title", "title"] {
+            let path = LabelPath::parse(&g, p).unwrap();
+            let a = idx.lookup(path.labels());
+            let b = loaded.lookup(path.labels());
+            assert_eq!(a.matched_len, b.matched_len, "{p}");
+            let ea = a.xnode.map(|x| idx.extent(x).pairs().to_vec());
+            let eb = b.xnode.map(|x| loaded.extent(x).pairs().to_vec());
+            assert_eq!(ea, eb, "{p}");
+        }
+    }
+
+    #[test]
+    fn loaded_index_can_be_refined_further() {
+        let (g, idx) = sample();
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        let mut loaded = load(&mut buf.as_slice()).unwrap();
+        let wl = Workload::parse(&g, &["movie.title"]).unwrap();
+        loaded.refine(&g, &wl, 0.5);
+        assert!(loaded
+            .required_paths(&g)
+            .contains(&"movie.title".to_string()));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = b"NOTANIDX".to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(load(&mut buf.as_slice()), Err(PersistError::BadMagic)));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let (_, idx) = sample();
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        // Flip one byte in the middle.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        match load(&mut buf.as_slice()) {
+            Err(_) => {}
+            Ok(_) => panic!("corrupted file must not load"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let (_, idx) = sample();
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+}

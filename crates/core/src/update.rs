@@ -1,0 +1,173 @@
+//! `updateAPEX` (§5.3, Figure 11) — incremental re-materialization of
+//! `G_APEX` after the required-path set changed.
+//!
+//! The traversal follows the paper exactly, with two engineering changes
+//! that do not alter the fixpoint:
+//!
+//! 1. The recursion is a worklist (no stack overflow on deep or cyclic
+//!    data). Extents grow monotonically and class wiring is a function of
+//!    `(class, label)` — see below — so chaotic iteration converges to
+//!    the same result as the paper's DFS.
+//! 2. Rooted paths carried for `lookup` are capped to the hash tree's
+//!    maximum depth + 1 trailing labels: `lookup` never inspects more.
+//!
+//! **Why the `visited`-skip is sound.** Extraction counts *all* subpaths
+//! of each workload query, so the required-path set is subpath-closed.
+//! Consequently the longest required suffix of `p.l` is determined by the
+//! longest required suffix of `p` alone: any longer required suffix
+//! `r.l` of `p.l` would make `r` required (it is a subpath of `r.l`) and
+//! a longer required suffix of `p` — contradiction. Hence every arrival
+//! path at a class node extends into the *same* child classes, and
+//! skipping re-verification of visited nodes (Figure 11 line 1) loses
+//! nothing. Seed [`crate::Apex::refine`] keeps this invariant; seeding a
+//! non-subpath-closed required set by hand would not be faithful to the
+//! paper either.
+
+use std::collections::HashMap;
+
+use apex_storage::{EdgePair, EdgeSet};
+use xmlgraph::{LabelId, XmlGraph};
+
+use crate::graph::{GApex, XNodeId};
+use crate::hashtree::HashTree;
+
+/// A rooted label path capped to its last `cap` labels — all `lookup`
+/// ever needs (see module docs).
+#[derive(Debug, Clone)]
+struct RollingPath {
+    labels: Vec<LabelId>,
+}
+
+impl RollingPath {
+    fn empty() -> Self {
+        RollingPath { labels: Vec::new() }
+    }
+
+    fn extended(&self, l: LabelId, cap: usize) -> Self {
+        let mut labels = Vec::with_capacity(self.labels.len().min(cap) + 1);
+        let start = if self.labels.len() >= cap { self.labels.len() + 1 - cap } else { 0 };
+        labels.extend_from_slice(&self.labels[start..]);
+        labels.push(l);
+        RollingPath { labels }
+    }
+}
+
+/// Groups the outgoing data edges of the end nodes of `pairs` by label:
+/// the `ESet` computation of Figures 6 and 11.
+fn group_out_edges(g: &XmlGraph, pairs: &EdgeSet) -> HashMap<LabelId, Vec<EdgePair>> {
+    let mut groups: HashMap<LabelId, Vec<EdgePair>> = HashMap::new();
+    for p in pairs.iter() {
+        for e in g.out_edges(p.node) {
+            groups
+                .entry(e.label)
+                .or_default()
+                .push(EdgePair::new(p.node, e.to));
+        }
+    }
+    groups
+}
+
+/// Runs `updateAPEX(xroot, ∅, NULL)` over the whole index.
+///
+/// Returns the number of worklist steps (a determinism-friendly measure
+/// of update cost, reported by the ablation bench).
+pub fn update_apex(g: &XmlGraph, ga: &mut GApex, ht: &mut HashTree, xroot: XNodeId) -> usize {
+    ga.reset_visited();
+    let cap = ht.max_depth() + 1;
+    let mut steps = 0usize;
+    let mut scratch: Vec<EdgePair> = Vec::new();
+    // (node, ΔESet, rooted path). LIFO ≈ the paper's DFS.
+    let mut work: Vec<(XNodeId, EdgeSet, RollingPath)> =
+        vec![(xroot, EdgeSet::new(), RollingPath::empty())];
+
+    while let Some((xnode, delta, path)) = work.pop() {
+        if ga.node(xnode).visited && delta.is_empty() {
+            continue; // Figure 11 line 1
+        }
+        ga.node_mut(xnode).visited = true;
+        steps += 1;
+
+        if delta.is_empty() {
+            // Verification pass: re-check every child's wiring against
+            // H_APEX (Figure 11 lines 4–22).
+            let edges: Vec<(LabelId, XNodeId)> = ga.node(xnode).edges.clone();
+            let mut groups: Option<HashMap<LabelId, Vec<EdgePair>>> = None;
+            for (label, end) in edges {
+                let newpath = path.extended(label, cap);
+                let mut probes = 0u64;
+                let Some(loc) = ht.locate(&newpath.labels, &mut probes) else {
+                    continue; // label unknown to H_APEX (cannot happen
+                              // after build_apex0; defensive)
+                };
+                match ht.xnode_of(loc.entry) {
+                    Some(xchild) if xchild == end => {
+                        // Wiring already correct: descend with ∅.
+                        work.push((end, EdgeSet::new(), newpath));
+                    }
+                    other => {
+                        let xchild =
+                            other.unwrap_or_else(|| ga.new_node(Some(label)));
+                        // Recompute this child's slice of the extent from
+                        // G_XML (lazily, once per verification pass).
+                        let groups = groups
+                            .get_or_insert_with(|| group_out_edges(g, ga.extent(xnode)));
+                        let sub = EdgeSet::from_pairs(
+                            groups.get(&label).cloned().unwrap_or_default(),
+                        );
+                        let dnew = sub.difference(ga.extent(xchild));
+                        ga.node_mut(xchild)
+                            .extent
+                            .union_in_place(&dnew, &mut scratch);
+                        ga.make_edge(xnode, xchild, label);
+                        ht.set_xnode(loc.entry, xchild);
+                        work.push((xchild, dnew, newpath));
+                    }
+                }
+            }
+        } else {
+            // Extent-delta pass (Figure 11 lines 23–37).
+            let groups = group_out_edges(g, &delta);
+            let mut labels: Vec<LabelId> = groups.keys().copied().collect();
+            labels.sort_unstable();
+            for label in labels {
+                let newpath = path.extended(label, cap);
+                let mut probes = 0u64;
+                let Some(loc) = ht.locate(&newpath.labels, &mut probes) else {
+                    continue;
+                };
+                let xchild = ht
+                    .xnode_of(loc.entry)
+                    .unwrap_or_else(|| ga.new_node(Some(label)));
+                let sub = EdgeSet::from_pairs(groups[&label].clone());
+                let dnew = sub.difference(ga.extent(xchild));
+                ga.node_mut(xchild)
+                    .extent
+                    .union_in_place(&dnew, &mut scratch);
+                ga.make_edge(xnode, xchild, label);
+                ht.set_xnode(loc.entry, xchild);
+                work.push((xchild, dnew, newpath));
+            }
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_path_caps_history() {
+        let p = RollingPath::empty();
+        let p = p.extended(LabelId(1), 3);
+        let p = p.extended(LabelId(2), 3);
+        let p = p.extended(LabelId(3), 3);
+        assert_eq!(p.labels, vec![LabelId(1), LabelId(2), LabelId(3)]);
+        let p = p.extended(LabelId(4), 3);
+        assert_eq!(p.labels, vec![LabelId(2), LabelId(3), LabelId(4)]);
+    }
+
+    // End-to-end behaviour of update_apex is exercised through
+    // `crate::index` tests (Figure 2 / Figure 12 reconstructions) and the
+    // cross-crate equivalence tests in `tests/`.
+}

@@ -1,0 +1,262 @@
+//! FlixML-like generator: B-movie review graphs with *moderate*
+//! irregularity and 3 IDREF-typed labels (a handful of reference edges,
+//! matching Table 1's Flix rows).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlgraph::{GraphBuilder, NodeId, XmlGraph};
+
+use crate::names;
+
+/// Generates a FlixML-like graph with `reviews` movie reviews.
+///
+/// Label richness scales with corpus size (rare optional elements appear
+/// only in larger corpora), reproducing Table 1's 62 → 64 → 70 gradient.
+/// Exactly three IDREF-typed labels exist: `@sequel`, `@remakeof`,
+/// `@related`; about 10 reference attributes of each kind are emitted
+/// regardless of size (Table 1 shows ~30 reference edges at every scale).
+pub fn flixml(reviews: usize, seed: u64) -> XmlGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new("flixinfo");
+    let root = b.root();
+
+    // Richness tiers: bigger corpora exercise more optional elements.
+    let tier = if reviews >= 2000 {
+        2
+    } else if reviews >= 400 {
+        1
+    } else {
+        0
+    };
+
+    let mut review_nodes: Vec<NodeId> = Vec::with_capacity(reviews);
+    for i in 0..reviews {
+        let r = gen_review(&mut b, root, &mut rng, i, tier);
+        b.register_id(r, &format!("f{i}")).expect("unique ids");
+        review_nodes.push(r);
+    }
+
+    // ~30 reference attributes across the corpus, split over the three
+    // IDREF labels (both endpoints random).
+    let n_refs = 30.min(reviews.saturating_sub(1));
+    for k in 0..n_refs {
+        let from = review_nodes[rng.gen_range(0..review_nodes.len())];
+        let to = rng.gen_range(0..review_nodes.len());
+        let attr = match k % 3 {
+            0 => "sequel",
+            1 => "remakeof",
+            _ => "related",
+        };
+        b.add_idref(from, attr, &format!("f{to}"));
+    }
+
+    b.finish().expect("all ids registered")
+}
+
+fn gen_review(
+    b: &mut GraphBuilder,
+    root: NodeId,
+    rng: &mut SmallRng,
+    no: usize,
+    tier: usize,
+) -> NodeId {
+    // Force the full optional-label alphabet once per tier so label
+    // counts are deterministic.
+    let force = no == 0;
+    let review = b.add_child(root, "review");
+
+    b.add_value_child(review, "title", &names::title(rng));
+    if force || rng.gen_bool(0.2) {
+        b.add_value_child(review, "alttitle", &names::title(rng));
+    }
+    let genre = b.add_child(review, "genre");
+    b.add_value_child(genre, "primarygenre", names::pick(rng, names::GENRES));
+    if force || rng.gen_bool(0.5) {
+        b.add_value_child(genre, "othergenre", names::pick(rng, names::GENRES));
+    }
+    b.add_value_child(review, "releaseyear", &names::year(rng));
+    b.add_value_child(review, "mpaarating", if rng.gen_bool(0.5) { "PG" } else { "R" });
+    b.add_value_child(review, "bees", &format!("{}", rng.gen_range(1..6)));
+    b.add_value_child(review, "runtime", &format!("{}", rng.gen_range(58..131)));
+    b.add_value_child(review, "studio", "Monarch Pictures");
+    if force || rng.gen_bool(0.4) {
+        b.add_value_child(review, "distributor", "Alliance Releasing");
+    }
+
+    // Cast.
+    let cast = b.add_child(review, "cast");
+    let lead = b.add_child(cast, "leadcast");
+    for _ in 0..rng.gen_range(3..6) {
+        let m = b.add_child(lead, if rng.gen_bool(0.5) { "male" } else { "female" });
+        b.add_value_child(m, "name", &names::person(rng));
+        b.add_value_child(m, "role", names::pick(rng, names::FIRST_NAMES));
+    }
+    if force || rng.gen_bool(0.75) {
+        let other = b.add_child(cast, "othercast");
+        for _ in 0..rng.gen_range(4..12) {
+            let m = b.add_child(other, if rng.gen_bool(0.5) { "male" } else { "female" });
+            b.add_value_child(m, "name", &names::person(rng));
+            b.add_value_child(m, "role", names::pick(rng, names::FIRST_NAMES));
+        }
+    }
+
+    // Crew.
+    let crew = b.add_child(review, "crew");
+    let d = b.add_child(crew, "director");
+    b.add_value_child(d, "name", &names::person(rng));
+    if force || rng.gen_bool(0.7) {
+        let p = b.add_child(crew, "producer");
+        b.add_value_child(p, "name", &names::person(rng));
+    }
+    if force || rng.gen_bool(0.6) {
+        let w = b.add_child(crew, "writer");
+        b.add_value_child(w, "name", &names::person(rng));
+    }
+    if force || rng.gen_bool(0.3) {
+        let c = b.add_child(crew, "cinematographer");
+        b.add_value_child(c, "name", &names::person(rng));
+    }
+    if force || rng.gen_bool(0.3) {
+        let c = b.add_child(crew, "composer");
+        b.add_value_child(c, "name", &names::person(rng));
+    }
+
+    // Review body.
+    let plot = b.add_child(review, "plotsummary");
+    for _ in 0..rng.gen_range(5..11) {
+        b.add_value_child(plot, "paragraph", &names::verse(rng));
+    }
+    if force || rng.gen_bool(0.5) {
+        b.add_value_child(review, "remarks", &names::verse(rng));
+    }
+    let reviewer = b.add_child(review, "reviewer");
+    b.add_value_child(reviewer, "name", &names::person(rng));
+    b.add_value_child(reviewer, "reviewdate", &names::date(rng));
+    if force || rng.gen_bool(0.4) {
+        b.add_value_child(review, "pros", &names::verse(rng));
+        b.add_value_child(review, "cons", &names::verse(rng));
+    }
+    if force || rng.gen_bool(0.3) {
+        b.add_value_child(review, "quote", &names::verse(rng));
+    }
+
+    // Technical block.
+    let video = b.add_child(review, "video");
+    b.add_value_child(video, "videoformat", "VHS");
+    b.add_value_child(video, "color", if rng.gen_bool(0.6) { "BW" } else { "color" });
+    if force || rng.gen_bool(0.3) {
+        b.add_value_child(video, "widescreen", "no");
+        b.add_value_child(video, "transfer", "grainy");
+    }
+    let audio = b.add_child(review, "audio");
+    b.add_value_child(audio, "audioformat", "mono");
+    if force || rng.gen_bool(0.3) {
+        b.add_value_child(audio, "soundquality", "hissy");
+    }
+    b.add_value_child(review, "language", "English");
+    b.add_value_child(review, "country", "USA");
+    if force || rng.gen_bool(0.25) {
+        b.add_value_child(review, "sfx", "rubber suit");
+        b.add_value_child(review, "dialog", "wooden");
+    }
+    if force || rng.gen_bool(0.3) {
+        b.add_value_child(review, "violence", "mild");
+        b.add_value_child(review, "nudity", "none");
+    }
+
+    // Catalog-ish extras.
+    if force || rng.gen_bool(0.4) {
+        b.add_value_child(review, "location", names::pick(rng, names::PLACES));
+    }
+    if force || rng.gen_bool(0.3) {
+        b.add_value_child(review, "website", "http://bmovies.example");
+    }
+    if force || rng.gen_bool(0.25) {
+        b.add_value_child(review, "aka", &names::title(rng));
+    }
+    if force || rng.gen_bool(0.3) {
+        b.add_value_child(review, "description", &names::verse(rng));
+        b.add_value_child(review, "theme", names::pick(rng, names::GENRES));
+    }
+    if force || rng.gen_bool(0.2) {
+        let awards = b.add_child(review, "awards");
+        for _ in 0..rng.gen_range(1..3) {
+            b.add_value_child(awards, "award", "Golden Turkey nominee");
+        }
+    }
+    if force || rng.gen_bool(0.2) {
+        b.add_value_child(review, "mpaareason", "creature violence");
+    }
+    if force || rng.gen_bool(0.2) {
+        b.add_value_child(review, "edition", "bargain bin");
+        b.add_value_child(review, "dvdextras", "trailer");
+    }
+    if force || rng.gen_bool(0.15) {
+        b.add_value_child(review, "chapterlist", "12 chapters");
+    }
+
+    // Tier 1 extras (appear in medium corpora).
+    if tier >= 1 && (force || rng.gen_bool(0.15)) {
+        b.add_value_child(review, "tagline", &names::verse(rng));
+        b.add_value_child(review, "trivia", &names::verse(rng));
+    }
+
+    // Tier 2 extras (large corpora only).
+    if tier >= 2 && (force || rng.gen_bool(0.1)) {
+        let st = b.add_child(review, "soundtrack");
+        let song = b.add_child(st, "song");
+        b.add_value_child(song, "songtitle", &names::title(rng));
+        b.add_value_child(song, "artist", &names::person(rng));
+        b.add_value_child(review, "budget", &format!("{}", rng.gen_range(10..900) * 1000));
+        b.add_value_child(review, "boxoffice", &format!("{}", rng.gen_range(10..900) * 1000));
+    }
+    review
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idref_labels_are_three() {
+        let g = flixml(60, 5);
+        let mut names: Vec<&str> =
+            g.idref_labels().iter().map(|l| g.label_str(*l)).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["@related", "@remakeof", "@sequel"]);
+    }
+
+    #[test]
+    fn label_tiers_grow() {
+        let small = flixml(170, 1).label_count();
+        let medium = flixml(480, 1).label_count();
+        let large = flixml(2200, 1).label_count();
+        assert!(small < medium, "{small} !< {medium}");
+        assert!(medium < large, "{medium} !< {large}");
+    }
+
+    #[test]
+    fn has_reference_edges() {
+        let g = flixml(100, 2);
+        let refs = g
+            .edges()
+            .filter(|(f, _, t)| g.tree_parent(*t) != *f)
+            .count();
+        assert_eq!(refs, 30);
+    }
+
+    #[test]
+    fn reviews_have_title_and_cast() {
+        let g = flixml(20, 3);
+        let review = g.label_id("review").unwrap();
+        let title = g.label_id("title").unwrap();
+        let cast = g.label_id("cast").unwrap();
+        for (_, l, node) in g.edges() {
+            if l == review {
+                let labels: Vec<_> = g.out_edges(node).iter().map(|e| e.label).collect();
+                assert!(labels.contains(&title));
+                assert!(labels.contains(&cast));
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Small deterministic word pools for generated values.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// First names for personae / individuals.
+pub const FIRST_NAMES: &[&str] = &[
+    "Edmund", "Cordelia", "Horatio", "Ophelia", "Duncan", "Banquo", "Emilia", "Cassio",
+    "Regan", "Goneril", "Lennox", "Rosse", "Angus", "Fleance", "Seyton", "Osric",
+    "Marcellus", "Bernardo", "Francisco", "Reynaldo", "Lucianus", "Voltemand",
+];
+
+/// Family names.
+pub const LAST_NAMES: &[&str] = &[
+    "Montague", "Capulet", "Lennox", "Macduff", "Hastings", "Stanley", "Brakenbury",
+    "Tyrrel", "Vaughan", "Blunt", "Herbert", "Oxford", "Surrey", "Norfolk",
+];
+
+/// Movie-ish title words.
+pub const TITLE_WORDS: &[&str] = &[
+    "Attack", "Return", "Revenge", "Night", "Curse", "Planet", "Brain", "Swamp",
+    "Creature", "Phantom", "Zombie", "Robot", "Saucer", "Doom", "Laser", "Mutant",
+];
+
+/// Genres for FlixML.
+pub const GENRES: &[&str] = &[
+    "horror", "scifi", "thriller", "western", "noir", "comedy", "monster", "space",
+];
+
+/// Place names for GedML.
+pub const PLACES: &[&str] = &[
+    "Springfield", "Riverton", "Milltown", "Ashford", "Brookside", "Eastham",
+    "Fairview", "Granton", "Hillcrest", "Kingsport",
+];
+
+/// Picks one item.
+pub fn pick<'a>(rng: &mut SmallRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A two-word title.
+pub fn title(rng: &mut SmallRng) -> String {
+    format!("{} of the {}", pick(rng, TITLE_WORDS), pick(rng, TITLE_WORDS))
+}
+
+/// A "First Last" person name.
+pub fn person(rng: &mut SmallRng) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// A line of verse (cheap filler text with some variety).
+pub fn verse(rng: &mut SmallRng) -> String {
+    const OPEN: &[&str] = &["O", "But", "And", "Thus", "Yet", "Now", "Hark"];
+    const MID: &[&str] = &[
+        "the night doth", "my lord shall", "the crown will", "sweet sorrow may",
+        "the tempest must", "yon stars do",
+    ];
+    const END: &[&str] = &["fall", "rise", "weep", "speak", "burn", "fade", "sing"];
+    format!("{} {} {}", pick(rng, OPEN), pick(rng, MID), pick(rng, END))
+}
+
+/// A year between 1930 and 1979 (B-movie era).
+pub fn year(rng: &mut SmallRng) -> String {
+    format!("{}", 1930 + rng.gen_range(0..50))
+}
+
+/// A GEDCOM-ish date.
+pub fn date(rng: &mut SmallRng) -> String {
+    const MONTHS: &[&str] = &["JAN", "FEB", "MAR", "APR", "MAY", "JUN", "JUL", "AUG", "SEP", "OCT", "NOV", "DEC"];
+    format!(
+        "{} {} {}",
+        rng.gen_range(1..29),
+        MONTHS[rng.gen_range(0..12)],
+        1700 + rng.gen_range(0..250)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(title(&mut a), title(&mut b));
+        assert_eq!(person(&mut a), person(&mut b));
+        assert_eq!(verse(&mut a), verse(&mut b));
+        assert_eq!(date(&mut a), date(&mut b));
+    }
+
+    #[test]
+    fn year_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let y: i32 = year(&mut r).parse().unwrap();
+            assert!((1930..1980).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Shakespeare-play-like tree generator (minor irregularity, small label
+//! alphabet, no references) — stands in for Bosak's play files.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlgraph::{GraphBuilder, NodeId, XmlGraph};
+
+use crate::names;
+
+/// Generates a corpus of `plays` plays under a single `PLAYS` root.
+///
+/// Label budget matches Table 1: 17 labels for 4 plays, 21 for 11
+/// (PROLOGUE/EPILOGUE/INDUCT/SUBTITLE appear from the 5th play on), 22
+/// for the full corpus (SONG appears from the 20th play on).
+pub fn shakespeare(plays: usize, seed: u64) -> XmlGraph {
+    shakespeare_scaled(plays, seed, 1.0)
+}
+
+/// Like [`shakespeare`], with a size multiplier on speeches per scene
+/// (real plays vary: the four tragedies are ~20 % longer than average).
+pub fn shakespeare_scaled(plays: usize, seed: u64, scale: f64) -> XmlGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new("PLAYS");
+    let root = b.root();
+    for play_no in 0..plays {
+        gen_play(&mut b, root, &mut rng, play_no, scale);
+    }
+    b.finish().expect("tree data has no references")
+}
+
+fn gen_play(b: &mut GraphBuilder, root: NodeId, rng: &mut SmallRng, play_no: usize, scale: f64) {
+    let rare = play_no >= 4; // PROLOGUE/EPILOGUE/INDUCT/SUBTITLE
+    let very_rare = play_no >= 19; // SONG
+    // The first play of each tier uses every tier feature, so the label
+    // alphabet matches Table 1 exactly regardless of the seed.
+    let force = play_no == 4;
+
+    let play = b.add_child(root, "PLAY");
+    b.add_value_child(play, "TITLE", &format!("The Tragedy No. {}", play_no + 1));
+    if rare && (force || rng.gen_bool(0.4)) {
+        b.add_value_child(play, "SUBTITLE", "A Winter Piece");
+    }
+
+    // Front matter.
+    let fm = b.add_child(play, "FM");
+    for _ in 0..3 {
+        b.add_value_child(fm, "P", "Text placed in the public domain.");
+    }
+
+    // Dramatis personae.
+    let personae = b.add_child(play, "PERSONAE");
+    b.add_value_child(personae, "TITLE", "Dramatis Personae");
+    let n_personae = rng.gen_range(12..22);
+    for _ in 0..n_personae {
+        b.add_value_child(personae, "PERSONA", &names::person(rng));
+    }
+    if rng.gen_bool(0.7) {
+        let grp = b.add_child(personae, "PGROUP");
+        for _ in 0..rng.gen_range(2..4) {
+            b.add_value_child(grp, "PERSONA", &names::person(rng));
+        }
+        b.add_value_child(grp, "GRPDESCR", "lords attending");
+    }
+
+    b.add_value_child(play, "SCNDESCR", "SCENE: several parts of the realm.");
+    b.add_value_child(play, "PLAYSUBT", "A TRAGEDY");
+
+    if rare && (force || rng.gen_bool(0.25)) {
+        let induct = b.add_child(play, "INDUCT");
+        gen_speeches(b, induct, rng, 4, very_rare);
+    }
+
+    for act_no in 0..5 {
+        let act = b.add_child(play, "ACT");
+        b.add_value_child(act, "TITLE", &format!("ACT {}", act_no + 1));
+        if rare && act_no == 0 && (force || rng.gen_bool(0.3)) {
+            let prologue = b.add_child(act, "PROLOGUE");
+            b.add_value_child(prologue, "TITLE", "PROLOGUE");
+            gen_speeches(b, prologue, rng, 2, very_rare);
+        }
+        let scenes = rng.gen_range(4..8);
+        for scene_no in 0..scenes {
+            let scene = b.add_child(act, "SCENE");
+            b.add_value_child(
+                scene,
+                "TITLE",
+                &format!("SCENE {}. A room of state.", scene_no + 1),
+            );
+            if rng.gen_bool(0.8) {
+                b.add_value_child(scene, "STAGEDIR", "Enter attendants with torches");
+            }
+            let speeches = (rng.gen_range(20..34) as f64 * scale).round() as usize;
+            gen_speeches(b, scene, rng, speeches, very_rare);
+        }
+        if rare && act_no == 4 && (force || rng.gen_bool(0.3)) {
+            let epilogue = b.add_child(act, "EPILOGUE");
+            b.add_value_child(epilogue, "TITLE", "EPILOGUE");
+            gen_speeches(b, epilogue, rng, 2, very_rare);
+        }
+    }
+}
+
+fn gen_speeches(
+    b: &mut GraphBuilder,
+    parent: NodeId,
+    rng: &mut SmallRng,
+    count: usize,
+    allow_song: bool,
+) {
+    for i in 0..count {
+        let speech = b.add_child(parent, "SPEECH");
+        b.add_value_child(speech, "SPEAKER", names::pick(rng, names::FIRST_NAMES));
+        let lines = rng.gen_range(2..10);
+        for _ in 0..lines {
+            b.add_value_child(speech, "LINE", &names::verse(rng));
+        }
+        if rng.gen_bool(0.08) {
+            b.add_value_child(speech, "STAGEDIR", "Aside");
+        }
+        if allow_song && (i == 0 || rng.gen_bool(0.01)) {
+            b.add_value_child(speech, "SONG", "Full fathom five thy father lies");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_plays_have_17_labels() {
+        let g = shakespeare(4, 1);
+        assert_eq!(g.label_count(), 17, "labels: {:?}",
+            g.labels().iter().map(|(_, s)| s).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn eleven_plays_have_21_labels() {
+        let g = shakespeare(11, 0xA11CE);
+        assert_eq!(g.label_count(), 21);
+    }
+
+    #[test]
+    fn full_corpus_has_22_labels() {
+        let g = shakespeare(38, 0xA11CE);
+        assert_eq!(g.label_count(), 22);
+    }
+
+    #[test]
+    fn is_a_tree() {
+        let g = shakespeare(2, 9);
+        assert_eq!(g.edge_count(), g.node_count() - 1);
+    }
+
+    #[test]
+    fn speeches_have_speakers_and_lines() {
+        let g = shakespeare(1, 3);
+        let speech = g.label_id("SPEECH").unwrap();
+        let speaker = g.label_id("SPEAKER").unwrap();
+        let line = g.label_id("LINE").unwrap();
+        for (_, l, node) in g.edges() {
+            if l == speech {
+                let labels: Vec<_> = g.out_edges(node).iter().map(|e| e.label).collect();
+                assert!(labels.contains(&speaker));
+                assert!(labels.contains(&line));
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! # oneindex — the 1-index baseline
+//!
+//! The 1-index (Milo & Suciu, ICDT'99) partitions the data nodes by
+//! **backward bisimulation**: two nodes are equivalent iff every incoming
+//! edge of one can be matched by an equally-labeled incoming edge of the
+//! other from an equivalent source (and vice versa). The quotient graph
+//! is a sound and complete path index: the set of nodes reached by any
+//! rooted label path equals the union of the extents of the index nodes
+//! reached by that path. Unlike the strong DataGuide it is
+//! non-deterministic (a node may have several equally-labeled out-edges)
+//! but at most linear in the data size (§2 of the APEX paper: "the
+//! 1-Index can be considered as a non-deterministic version of the strong
+//! DataGuide", coinciding with it on tree data).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use xmlgraph::{LabelId, NodeId, XmlGraph};
+
+/// Identifier of a 1-index node (= bisimulation block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    #[inline]
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One block of the bisimulation quotient.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Data nodes in the block (sorted).
+    pub extent: Vec<NodeId>,
+    /// Outgoing quotient edges (label, target block), deduplicated; a
+    /// label may map to several blocks (non-deterministic).
+    pub edges: Vec<(LabelId, BlockId)>,
+}
+
+/// The 1-index.
+#[derive(Debug, Clone)]
+pub struct OneIndex {
+    blocks: Vec<Block>,
+    root: BlockId,
+    edge_count: usize,
+    /// Block of each data node.
+    node_block: Vec<BlockId>,
+}
+
+impl OneIndex {
+    /// Builds the 1-index of `g` by iterated signature refinement
+    /// (O(m · rounds), deterministic).
+    pub fn build(g: &XmlGraph) -> Self {
+        let n = g.node_count();
+        // Reverse adjacency: incoming (label, source) of each node.
+        let mut incoming: Vec<Vec<(LabelId, NodeId)>> = vec![Vec::new(); n];
+        for (from, l, to) in g.edges() {
+            incoming[to.idx()].push((l, from));
+        }
+
+        // Initial partition: root alone; everything else by incoming
+        // label multiset (a valid coarsest start since signatures only
+        // refine).
+        let mut block_of: Vec<u32> = vec![0; n];
+        block_of[g.root().idx()] = 0;
+        let mut next_block = 1u32;
+        {
+            let mut seed: HashMap<Vec<LabelId>, u32> = HashMap::new();
+            for v in g.nodes() {
+                if v == g.root() {
+                    continue;
+                }
+                let mut labels: Vec<LabelId> =
+                    incoming[v.idx()].iter().map(|(l, _)| *l).collect();
+                labels.sort_unstable();
+                labels.dedup();
+                let id = *seed.entry(labels).or_insert_with(|| {
+                    let id = next_block;
+                    next_block += 1;
+                    id
+                });
+                block_of[v.idx()] = id;
+            }
+        }
+
+        // Refine: signature(v) = sorted dedup {(l, block(u)) : u -l-> v}.
+        loop {
+            let mut sigs: HashMap<(u32, Vec<(LabelId, u32)>), u32> = HashMap::new();
+            let mut new_block_of = vec![0u32; n];
+            let mut count = 0u32;
+            for v in g.nodes() {
+                let mut sig: Vec<(LabelId, u32)> = incoming[v.idx()]
+                    .iter()
+                    .map(|(l, u)| (*l, block_of[u.idx()]))
+                    .collect();
+                sig.sort_unstable();
+                sig.dedup();
+                let key = (block_of[v.idx()], sig);
+                let id = *sigs.entry(key).or_insert_with(|| {
+                    let id = count;
+                    count += 1;
+                    id
+                });
+                new_block_of[v.idx()] = id;
+            }
+            let stable = count == next_block;
+            block_of = new_block_of;
+            next_block = count;
+            if stable {
+                break;
+            }
+        }
+
+        // Materialize blocks and quotient edges.
+        let mut blocks: Vec<Block> = (0..next_block)
+            .map(|_| Block { extent: Vec::new(), edges: Vec::new() })
+            .collect();
+        for v in g.nodes() {
+            blocks[block_of[v.idx()] as usize].extent.push(v);
+        }
+        let mut edge_set: std::collections::HashSet<(u32, LabelId, u32)> =
+            std::collections::HashSet::new();
+        for (from, l, to) in g.edges() {
+            edge_set.insert((block_of[from.idx()], l, block_of[to.idx()]));
+        }
+        let mut edge_count = 0usize;
+        let mut sorted_edges: Vec<_> = edge_set.into_iter().collect();
+        sorted_edges.sort_unstable();
+        for (b, l, t) in sorted_edges {
+            blocks[b as usize].edges.push((l, BlockId(t)));
+            edge_count += 1;
+        }
+        for b in &mut blocks {
+            b.extent.sort_unstable();
+        }
+        let root = BlockId(block_of[g.root().idx()]);
+        let node_block = block_of.into_iter().map(BlockId).collect();
+        OneIndex { blocks, root, edge_count, node_block }
+    }
+
+    /// The block containing the data root.
+    #[inline]
+    pub fn root(&self) -> BlockId {
+        self.root
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of quotient edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Access one block.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.idx()]
+    }
+
+    /// The block of a data node.
+    #[inline]
+    pub fn block_of(&self, v: NodeId) -> BlockId {
+        self.node_block[v.idx()]
+    }
+
+    /// Evaluates a rooted simple path over the quotient graph: the union
+    /// of extents of all blocks reached by the path.
+    pub fn eval_rooted(&self, path: &[LabelId]) -> Vec<NodeId> {
+        let mut frontier = vec![self.root];
+        for &l in path {
+            let mut next: Vec<BlockId> = Vec::new();
+            for b in frontier {
+                for &(el, t) in &self.blocks[b.idx()].edges {
+                    if el == l {
+                        next.push(t);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+            if frontier.is_empty() {
+                return Vec::new();
+            }
+        }
+        let mut out = Vec::new();
+        for b in frontier {
+            out.extend_from_slice(&self.blocks[b.idx()].extent);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Iterates over block ids.
+    pub fn ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlgraph::builder::moviedb;
+    use xmlgraph::LabelPath;
+
+    #[test]
+    fn rooted_eval_matches_direct() {
+        let g = moviedb();
+        let oi = OneIndex::build(&g);
+        for p in [
+            "movie.title",
+            "director.movie.title",
+            "actor.name",
+            "name",
+            "director.movie.@director.director.name",
+        ] {
+            let path = LabelPath::parse(&g, p).unwrap();
+            let expect = xmlgraph::paths::eval_rooted(&g, &path);
+            assert_eq!(oi.eval_rooted(path.labels()), expect, "path {p}");
+        }
+    }
+
+    #[test]
+    fn coincides_with_dataguide_on_trees() {
+        // On tree data the 1-index equals the strong DataGuide (§2).
+        let mut b = xmlgraph::GraphBuilder::new("a");
+        let r = b.root();
+        for _ in 0..3 {
+            let c = b.add_child(r, "b");
+            b.add_value_child(c, "t", "x");
+        }
+        let c = b.add_child(r, "c");
+        b.add_value_child(c, "t", "y");
+        let g = b.finish().unwrap();
+        let oi = OneIndex::build(&g);
+        let dg = dataguide::DataGuide::build(&g);
+        assert_eq!(oi.node_count(), dg.node_count());
+        assert_eq!(oi.edge_count(), dg.edge_count());
+    }
+
+    #[test]
+    fn blocks_partition_nodes() {
+        let g = moviedb();
+        let oi = OneIndex::build(&g);
+        let total: usize = oi.ids().map(|b| oi.block(b).extent.len()).sum();
+        assert_eq!(total, g.node_count());
+        for v in g.nodes() {
+            let b = oi.block_of(v);
+            assert!(oi.block(b).extent.binary_search(&v).is_ok());
+        }
+    }
+
+    #[test]
+    fn bisimulation_property_holds() {
+        // For every pair in one block, incoming labels must agree.
+        let g = moviedb();
+        let oi = OneIndex::build(&g);
+        let mut incoming: Vec<Vec<(LabelId, BlockId)>> = vec![Vec::new(); g.node_count()];
+        for (from, l, to) in g.edges() {
+            incoming[to.idx()].push((l, oi.block_of(from)));
+        }
+        for v in incoming.iter_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for b in oi.ids() {
+            let ext = &oi.block(b).extent;
+            for w in ext.windows(2) {
+                assert_eq!(
+                    incoming[w[0].idx()],
+                    incoming[w[1].idx()],
+                    "nodes {} and {} share a block but differ backward",
+                    w[0].0,
+                    w[1].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let mut rb = xmlgraph::builder::RawGraphBuilder::new();
+        rb.node(0, "r", None, None);
+        rb.node(1, "a", Some(0), None);
+        rb.node(2, "b", Some(1), None);
+        rb.edge(0, "a", 1);
+        rb.edge(1, "b", 2);
+        rb.edge(2, "a", 1);
+        let g = rb.finish(&[]);
+        let oi = OneIndex::build(&g);
+        assert!(oi.node_count() <= 3);
+        let a = g.label_id("a").unwrap();
+        let b = g.label_id("b").unwrap();
+        assert_eq!(oi.eval_rooted(&[a, b, a]), vec![NodeId(1)]);
+    }
+}

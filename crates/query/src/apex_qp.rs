@@ -1,0 +1,378 @@
+//! The APEX query processor (§6.1 "Query Processor Implementation").
+//!
+//! * **QTYPE1** — looks up `H_APEX` with the whole query path; if the
+//!   longest required suffix equals the path, the answer is read straight
+//!   off the located extents. Otherwise the processor keeps shortening
+//!   the prefix (`j` from `n` down) collecting the union of extents per
+//!   prefix until the prefix is itself a required path, then multi-way
+//!   joins the collected edge sets.
+//! * **QTYPE2** — query pruning & rewriting: the traversal starts from
+//!   the `G_APEX` nodes whose incoming label is `l_i` (found via
+//!   `H_APEX`), not from the root as a DataGuide must. Implemented as a
+//!   cycle-safe dataflow fixpoint that joins extents along `G_APEX`
+//!   edges (equivalent to enumerating the rewritten label paths and
+//!   joining per path, but terminates on cyclic class graphs).
+//! * **QTYPE3** — QTYPE1 followed by data-table probes.
+
+use std::collections::HashMap;
+
+use apex::{Apex, XNodeId};
+use apex_storage::pages::PageCache;
+use apex_storage::{Cost, DataTable, EdgeSet, PageModel};
+use xmlgraph::{LabelId, NodeId, XmlGraph};
+
+use crate::ast::Query;
+use crate::batch::{QueryOutput, QueryProcessor};
+
+/// Query processor over an [`Apex`] index.
+pub struct ApexProcessor<'a> {
+    g: &'a XmlGraph,
+    apex: &'a Apex,
+    table: &'a DataTable,
+    pages: PageModel,
+}
+
+impl<'a> ApexProcessor<'a> {
+    /// Creates a processor.
+    pub fn new(g: &'a XmlGraph, apex: &'a Apex, table: &'a DataTable) -> Self {
+        ApexProcessor { g, apex, table, pages: PageModel::default() }
+    }
+
+    /// Charges the first touch of class node `x`'s extent in this query.
+    fn touch_extent(&self, x: XNodeId, cache: &mut PageCache, cost: &mut Cost) {
+        let e = self.apex.extent(x);
+        cost.extent_pairs += e.len() as u64;
+        cache.charge_once(cost, x.0 as u64, e.len() * 8, &self.pages);
+    }
+
+    /// Adaptive semijoin of an extent against sorted delta end nodes:
+    /// indexed range probes when the delta is much smaller than the
+    /// extent (clustered-index access path), linear merge otherwise.
+    fn semijoin(
+        &self,
+        ends: &[xmlgraph::NodeId],
+        x: XNodeId,
+        cache: &mut PageCache,
+        cost: &mut Cost,
+    ) -> EdgeSet {
+        let extent = self.apex.extent(x);
+        self.touch_extent(x, cache, cost);
+        let (hit, work) = if ends.len() * 8 < extent.len() {
+            extent.probe_by_parents(ends)
+        } else {
+            extent.semijoin_ends(ends)
+        };
+        cost.join_work += work as u64;
+        cost.join_output += hit.len() as u64;
+        hit
+    }
+
+    /// QTYPE1 evaluation returning the final edge set.
+    ///
+    /// The exact prefix's extent union seeds the join; every later
+    /// segment is accessed through indexed probes (extents are clustered
+    /// by parent nid), so join cost scales with the data that actually
+    /// flows, not with extent sizes.
+    fn eval_path_edges(
+        &self,
+        labels: &[LabelId],
+        cache: &mut PageCache,
+        cost: &mut Cost,
+    ) -> EdgeSet {
+        let n = labels.len();
+        // Collect the class-node lists for prefixes n, n-1, … until an
+        // exact one (§6.1's decreasing-j lookup loop).
+        let mut segments: Vec<Vec<XNodeId>> = Vec::new();
+        let mut exact_found = false;
+        for j in (1..=n).rev() {
+            let seg = self.apex.segment_nodes(&labels[..j]);
+            cost.hash_lookups += seg.hash_lookups;
+            segments.push(seg.xnodes);
+            if seg.exact {
+                exact_found = true;
+                break;
+            }
+        }
+        if !exact_found {
+            // The shortest prefix (single label) is always exact when the
+            // label exists; reaching here means the label is unknown.
+            return EdgeSet::new();
+        }
+        // segments = [S_n, S_{n-1}, …, S_{j*}]; materialize the exact
+        // union, then probe forward.
+        let mut iter = segments.into_iter().rev();
+        let seed_classes = iter.next().expect("at least the exact segment");
+        let mut cur = EdgeSet::new();
+        let mut scratch = Vec::new();
+        for x in &seed_classes {
+            self.touch_extent(*x, cache, cost);
+            cur.union_in_place(self.apex.extent(*x), &mut scratch);
+        }
+        for classes in iter {
+            if cur.is_empty() {
+                break;
+            }
+            let ends = cur.end_nodes();
+            let mut next = EdgeSet::new();
+            for x in &classes {
+                let hit = self.semijoin(&ends, *x, cache, cost);
+                next.union_in_place(&hit, &mut scratch);
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    fn eval_path(&self, labels: &[LabelId], cache: &mut PageCache, cost: &mut Cost) -> Vec<NodeId> {
+        let mut nodes = self.eval_path_edges(labels, cache, cost).end_nodes();
+        self.g.sort_doc_order(&mut nodes);
+        nodes
+    }
+
+    /// QTYPE2: dataflow fixpoint from the `l_i` classes.
+    ///
+    /// Deltas are *batched per class node* before propagation, so each
+    /// `G_APEX` edge scans its target extent once per round instead of
+    /// once per incoming delta — the disk-friendly evaluation order the
+    /// paper's join-of-extents description implies.
+    fn eval_anc_desc(
+        &self,
+        first: LabelId,
+        last: LabelId,
+        cache: &mut PageCache,
+        cost: &mut Cost,
+    ) -> Vec<NodeId> {
+        let seg = self.apex.segment_nodes(&[first]);
+        cost.hash_lookups += seg.hash_lookups;
+        // known: per class node, extent pairs already proven reachable
+        // from an l_i instance. pending: accumulated un-propagated delta.
+        let mut known: HashMap<XNodeId, EdgeSet> = HashMap::new();
+        let mut pending: HashMap<XNodeId, EdgeSet> = HashMap::new();
+        let mut queue: Vec<XNodeId> = Vec::new();
+        let mut scratch = Vec::new();
+        for x in &seg.xnodes {
+            self.touch_extent(*x, cache, cost);
+            let e = self.apex.extent(*x).clone();
+            known.insert(*x, e.clone());
+            pending.insert(*x, e);
+            queue.push(*x);
+        }
+        let mut out: Vec<NodeId> = Vec::new();
+        // G_APEX node records are page-packed like the guide's (see
+        // guide_qp): first touches accumulate bytes.
+        let mut touched: Vec<bool> = vec![false; self.apex.graph().allocated()];
+        let mut node_bytes = 0usize;
+        while let Some(x) = queue.pop() {
+            let Some(delta) = pending.remove(&x) else { continue };
+            if delta.is_empty() {
+                continue;
+            }
+            let ends = delta.end_nodes();
+            if !touched[x.0 as usize] {
+                touched[x.0 as usize] = true;
+                node_bytes += 16 + 8 * self.apex.out_edges(x).len();
+            }
+            for &(label, y) in self.apex.out_edges(x) {
+                cost.index_edges += 1;
+                let step = self.semijoin(&ends, y, cache, cost);
+                if step.is_empty() {
+                    continue;
+                }
+                // Every step pair is a genuine arrival (distance >= 1
+                // from an l_i instance): collect it even if the pair was
+                // already known — e.g. when it was part of the seed and a
+                // cycle re-reaches it (//d//d through a back-edge).
+                if label == last {
+                    out.extend(step.iter().map(|p| p.node));
+                }
+                let slot = known.entry(y).or_default();
+                let fresh = step.difference(slot);
+                if fresh.is_empty() {
+                    continue;
+                }
+                cost.join_output += fresh.len() as u64;
+                slot.union_in_place(&fresh, &mut scratch);
+                let waiting = pending.entry(y).or_default();
+                let was_empty = waiting.is_empty();
+                waiting.union_in_place(&fresh, &mut scratch);
+                if was_empty {
+                    queue.push(y);
+                }
+            }
+        }
+        cost.pages_read += self.pages.pages_for_bytes(node_bytes);
+        self.g.sort_doc_order(&mut out);
+        out
+    }
+}
+
+impl QueryProcessor for ApexProcessor<'_> {
+    fn name(&self) -> &'static str {
+        "APEX"
+    }
+
+    fn eval(&self, q: &Query) -> QueryOutput {
+        let mut cost = Cost::new();
+        let mut cache = PageCache::new();
+        let nodes = match q {
+            Query::PartialPath { labels } => self.eval_path(labels, &mut cache, &mut cost),
+            Query::AncestorDescendant { first, last } => {
+                self.eval_anc_desc(*first, *last, &mut cache, &mut cost)
+            }
+            Query::ValuePath { labels, value } => {
+                let mut nodes = self.eval_path(labels, &mut cache, &mut cost);
+                nodes.retain(|&n| self.table.probe(n, value, &mut cost));
+                nodes
+            }
+        };
+        QueryOutput { nodes, cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveProcessor;
+    use apex::Workload;
+    use xmlgraph::builder::moviedb;
+    use xmlgraph::LabelPath;
+
+    fn setup(g: &XmlGraph, workload: &[&str]) -> (Apex, DataTable) {
+        let mut idx = Apex::build_initial(g);
+        if !workload.is_empty() {
+            let wl = Workload::parse(g, workload).unwrap();
+            idx.refine(g, &wl, 0.1);
+        }
+        (idx, DataTable::build(g, PageModel::default()))
+    }
+
+    fn q1(g: &XmlGraph, p: &str) -> Query {
+        Query::PartialPath { labels: LabelPath::parse(g, p).unwrap().0 }
+    }
+
+    #[test]
+    fn qtype1_on_apex0_matches_naive() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &[]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        let nv = NaiveProcessor::new(&g, &t);
+        for p in [
+            "actor.name",
+            "movie.title",
+            "director.movie.title",
+            "name",
+            "@movie.movie",
+            "actor.@movie.movie.title",
+            "director.movie.@director.director.name",
+        ] {
+            let q = q1(&g, p);
+            assert_eq!(ap.eval(&q).nodes, nv.eval(&q).nodes, "query {p}");
+        }
+    }
+
+    #[test]
+    fn qtype1_on_refined_apex_matches_naive_and_is_cheaper() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &["actor.name", "director.movie", "@movie.movie"]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        let nv = NaiveProcessor::new(&g, &t);
+        let q = q1(&g, "actor.name");
+        let out = ap.eval(&q);
+        assert_eq!(out.nodes, nv.eval(&q).nodes);
+        // actor.name is required: answered with no joins.
+        assert_eq!(out.cost.join_work, 0);
+    }
+
+    #[test]
+    fn qtype2_matches_naive() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &["actor.name"]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        let nv = NaiveProcessor::new(&g, &t);
+        for (a, b) in [("movie", "name"), ("director", "title"), ("actor", "title"), ("movie", "movie")] {
+            let q = Query::AncestorDescendant {
+                first: g.label_id(a).unwrap(),
+                last: g.label_id(b).unwrap(),
+            };
+            assert_eq!(ap.eval(&q).nodes, nv.eval(&q).nodes, "//{a}//{b}");
+        }
+    }
+
+    #[test]
+    fn qtype3_matches_naive() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &[]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        let nv = NaiveProcessor::new(&g, &t);
+        let q = Query::ValuePath {
+            labels: LabelPath::parse(&g, "title").unwrap().0,
+            value: "Star Wars".into(),
+        };
+        assert_eq!(ap.eval(&q).nodes, nv.eval(&q).nodes);
+        assert_eq!(ap.eval(&q).nodes, vec![NodeId(10)]);
+    }
+
+    #[test]
+    fn single_label_queries_are_exact_unions() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &["actor.name"]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        // //name must union the actor.name class and the remainder class
+        // with no joins.
+        let q = q1(&g, "name");
+        let out = ap.eval(&q);
+        assert_eq!(out.nodes, vec![NodeId(3), NodeId(5), NodeId(11), NodeId(13)]);
+        assert_eq!(out.cost.join_work, 0);
+        assert!(out.cost.pages_read >= 1);
+    }
+
+    #[test]
+    fn queries_longer_than_any_required_path() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &["actor.name"]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        let nv = NaiveProcessor::new(&g, &t);
+        // 4-step query across reference edges, far longer than the
+        // longest required path (2).
+        let q = q1(&g, "director.movie.@director.director");
+        assert_eq!(ap.eval(&q).nodes, nv.eval(&q).nodes);
+        assert_eq!(ap.eval(&q).nodes, vec![NodeId(12)]);
+    }
+
+    #[test]
+    fn empty_intermediate_join_short_circuits() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &[]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        // `year` exists only under movie 8; `year.title` has no instance.
+        let q = q1(&g, "year.title");
+        let out = ap.eval(&q);
+        assert!(out.nodes.is_empty());
+    }
+
+    #[test]
+    fn qtype2_self_label_through_cycle() {
+        // //movie//movie across reference edges; verify against naive
+        // rather than hand-reasoning the cycle structure.
+        let g = moviedb();
+        let (idx, t) = setup(&g, &[]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        let nv = NaiveProcessor::new(&g, &t);
+        let movie = g.label_id("movie").unwrap();
+        let q = Query::AncestorDescendant { first: movie, last: movie };
+        assert_eq!(ap.eval(&q).nodes, nv.eval(&q).nodes);
+    }
+
+    #[test]
+    fn unknown_label_yields_empty() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &[]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        // `PLAYS` does not exist in moviedb — build a query with a label
+        // id that is valid in another graph. Use a fresh label by parsing
+        // against the same graph is impossible; instead use a path whose
+        // combination yields empty.
+        let q = q1(&g, "title.actor");
+        assert!(ap.eval(&q).nodes.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Batch execution: the unit Figures 13–15 report (total execution time
+//! of a query set over one index).
+
+use std::time::{Duration, Instant};
+
+use apex_storage::Cost;
+use xmlgraph::NodeId;
+
+use crate::ast::Query;
+
+/// Result of one query: result nodes (sorted by document order, as the
+/// paper post-processes) plus the logical cost incurred.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Result nodes in document order, deduplicated.
+    pub nodes: Vec<NodeId>,
+    /// Logical cost counters for this query.
+    pub cost: Cost,
+}
+
+/// A query processor over one index structure.
+pub trait QueryProcessor {
+    /// Short name for tables ("APEX", "SDG", "1-index", "Fabric", "naive").
+    fn name(&self) -> &'static str;
+    /// Evaluates one query.
+    fn eval(&self, q: &Query) -> QueryOutput;
+}
+
+/// Aggregates over a batch of queries.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Total result nodes across all queries.
+    pub result_nodes: usize,
+    /// Queries with empty results.
+    pub empty_results: usize,
+    /// Accumulated logical cost.
+    pub cost: Cost,
+    /// Accumulated wall-clock time.
+    pub wall: Duration,
+}
+
+impl BatchStats {
+    /// One row of a figure: `pages`, `total logical`, `wall ms`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} queries, {} result nodes ({} empty) | pages={} logical={} wall={:.1}ms",
+            self.queries,
+            self.result_nodes,
+            self.empty_results,
+            self.cost.pages_read,
+            self.cost.total(),
+            self.wall.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Runs `queries` through `p`, accumulating cost and wall time.
+pub fn run_batch(p: &dyn QueryProcessor, queries: &[Query]) -> BatchStats {
+    let mut stats = BatchStats::default();
+    let start = Instant::now();
+    for q in queries {
+        let out = p.eval(q);
+        stats.queries += 1;
+        stats.result_nodes += out.nodes.len();
+        if out.nodes.is_empty() {
+            stats.empty_results += 1;
+        }
+        stats.cost += out.cost;
+    }
+    stats.wall = start.elapsed();
+    stats
+}
+
+/// Runs `queries` across `threads` worker threads sharing the processor
+/// immutably (processors hold only shared references to the index and
+/// data). Logical costs are summed; wall time is the batch's span, so
+/// speed-up shows directly against [`run_batch`].
+pub fn run_batch_parallel(
+    p: &(dyn QueryProcessor + Sync),
+    queries: &[Query],
+    threads: usize,
+) -> BatchStats {
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let chunk = queries.len().div_ceil(threads).max(1);
+    let partials: Vec<BatchStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|qs| scope.spawn(move || run_batch(p, qs)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker must not panic"))
+            .collect()
+    });
+    let mut stats = BatchStats::default();
+    for part in partials {
+        stats.queries += part.queries;
+        stats.result_nodes += part.result_nodes;
+        stats.empty_results += part.empty_results;
+        stats.cost += part.cost;
+    }
+    stats.wall = start.elapsed();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveProcessor;
+    use apex_storage::{DataTable, PageModel};
+    use xmlgraph::builder::moviedb;
+    use xmlgraph::LabelPath;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = moviedb();
+        let table = DataTable::build(&g, PageModel::default());
+        let p = NaiveProcessor::new(&g, &table);
+        let queries: Vec<Query> = ["actor.name", "movie.title", "name", "title", "movie"]
+            .iter()
+            .cycle()
+            .take(40)
+            .map(|s| Query::PartialPath { labels: LabelPath::parse(&g, s).unwrap().0 })
+            .collect();
+        let seq = run_batch(&p, &queries);
+        let par = run_batch_parallel(&p, &queries, 4);
+        assert_eq!(seq.queries, par.queries);
+        assert_eq!(seq.result_nodes, par.result_nodes);
+        assert_eq!(seq.empty_results, par.empty_results);
+        assert_eq!(seq.cost, par.cost);
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_thread_counts() {
+        let g = moviedb();
+        let table = DataTable::build(&g, PageModel::default());
+        let p = NaiveProcessor::new(&g, &table);
+        let queries = vec![Query::PartialPath {
+            labels: LabelPath::parse(&g, "title").unwrap().0,
+        }];
+        for threads in [0, 1, 8, 64] {
+            let s = run_batch_parallel(&p, &queries, threads);
+            assert_eq!(s.queries, 1);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Query-plan explanation for the APEX processor.
+//!
+//! `EXPLAIN` support mirrors the §6.1 evaluation strategy: a QTYPE1 plan
+//! shows how the query path was segmented against `H_APEX` (the
+//! decreasing-`j` lookup loop), which class nodes feed each segment, and
+//! whether the query is answered *directly* from one extent union (the
+//! whole path is a required path) or needs a join chain. Useful for
+//! understanding why a particular `minSup` setting helps a workload.
+
+use apex::Apex;
+use xmlgraph::{LabelId, XmlGraph};
+
+use crate::ast::Query;
+
+/// One segment of a QTYPE1 plan: the query prefix `labels[..prefix_len]`
+/// resolved through `H_APEX`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentPlan {
+    /// Length of the query prefix this segment covers.
+    pub prefix_len: usize,
+    /// Number of `G_APEX` class nodes whose extents are unioned.
+    pub classes: usize,
+    /// Total extent pairs behind those classes.
+    pub extent_pairs: usize,
+    /// True if the prefix is itself a required path (exact — terminates
+    /// the segmentation loop).
+    pub exact: bool,
+}
+
+/// An explained plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan {
+    /// QTYPE1/QTYPE3: either answered directly off one segment
+    /// (`segments.len() == 1`) or via a join chain.
+    PathJoin {
+        /// Segments in evaluation order (exact seed first).
+        segments: Vec<SegmentPlan>,
+        /// Number of semijoin steps to perform.
+        joins: usize,
+        /// QTYPE3 only: the value predicate requiring table probes.
+        value_filter: bool,
+    },
+    /// QTYPE2: dataflow from the `first`-labeled classes.
+    AncestorDescendant {
+        /// Number of seed classes (incoming label = `l_i`).
+        start_classes: usize,
+        /// Pairs in the seed extents.
+        seed_pairs: usize,
+    },
+    /// The query references a label unknown to the index: empty result.
+    Empty,
+}
+
+impl Plan {
+    /// True if no joins and no graph traversal are needed (single exact
+    /// segment — the "direct answer" case the paper optimizes for).
+    pub fn is_direct(&self) -> bool {
+        matches!(
+            self,
+            Plan::PathJoin { segments, joins: 0, .. } if segments.len() == 1
+        )
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self, g: &XmlGraph, q: &Query) -> String {
+        let mut s = format!("EXPLAIN {}\n", q.render(g));
+        match self {
+            Plan::Empty => s.push_str("  -> empty (unknown label)\n"),
+            Plan::AncestorDescendant { start_classes, seed_pairs } => {
+                s.push_str(&format!(
+                    "  -> dataflow from {start_classes} class node(s), {seed_pairs} seed pair(s)\n"
+                ));
+            }
+            Plan::PathJoin { segments, joins, value_filter } => {
+                for seg in segments {
+                    s.push_str(&format!(
+                        "  -> prefix[..{}]: {} class(es), {} pair(s){}\n",
+                        seg.prefix_len,
+                        seg.classes,
+                        seg.extent_pairs,
+                        if seg.exact { " [exact]" } else { "" }
+                    ));
+                }
+                if *joins == 0 {
+                    s.push_str("  -> direct answer from extents (no joins)\n");
+                } else {
+                    s.push_str(&format!("  -> {joins} semijoin step(s)\n"));
+                }
+                if *value_filter {
+                    s.push_str("  -> data-table value filter\n");
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Produces the plan APEX would execute for `q` (without executing it).
+pub fn explain_apex(apex: &Apex, q: &Query) -> Plan {
+    match q {
+        Query::AncestorDescendant { first, .. } => {
+            let seg = apex.segment_nodes(&[*first]);
+            if seg.xnodes.is_empty() {
+                return Plan::Empty;
+            }
+            let seed_pairs = seg.xnodes.iter().map(|&x| apex.extent(x).len()).sum();
+            Plan::AncestorDescendant { start_classes: seg.xnodes.len(), seed_pairs }
+        }
+        Query::PartialPath { labels } => plan_path(apex, labels, false),
+        Query::ValuePath { labels, .. } => plan_path(apex, labels, true),
+    }
+}
+
+fn plan_path(apex: &Apex, labels: &[LabelId], value_filter: bool) -> Plan {
+    let n = labels.len();
+    let mut segments = Vec::new();
+    let mut exact_found = false;
+    for j in (1..=n).rev() {
+        let seg = apex.segment_nodes(&labels[..j]);
+        let extent_pairs = seg.xnodes.iter().map(|&x| apex.extent(x).len()).sum();
+        segments.push(SegmentPlan {
+            prefix_len: j,
+            classes: seg.xnodes.len(),
+            extent_pairs,
+            exact: seg.exact,
+        });
+        if seg.exact {
+            exact_found = true;
+            break;
+        }
+    }
+    if !exact_found {
+        return Plan::Empty;
+    }
+    segments.reverse(); // exact seed first — evaluation order
+    let joins = segments.len() - 1;
+    Plan::PathJoin { segments, joins, value_filter }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex::Workload;
+    use xmlgraph::builder::moviedb;
+
+    fn figure2() -> (XmlGraph, Apex) {
+        let g = moviedb();
+        let mut idx = Apex::build_initial(&g);
+        let wl = Workload::parse(&g, &["actor.name"]).unwrap();
+        idx.refine(&g, &wl, 0.5);
+        (g, idx)
+    }
+
+    #[test]
+    fn required_path_is_direct() {
+        let (g, idx) = figure2();
+        let q = Query::parse(&g, "//actor/name").unwrap();
+        let plan = explain_apex(&idx, &q);
+        assert!(plan.is_direct(), "{plan:?}");
+        let rendered = plan.render(&g, &q);
+        assert!(rendered.contains("direct answer"));
+        assert!(rendered.contains("[exact]"));
+    }
+
+    #[test]
+    fn non_required_path_needs_joins() {
+        let (g, idx) = figure2();
+        let q = Query::parse(&g, "//director/movie/title").unwrap();
+        let plan = explain_apex(&idx, &q);
+        assert!(!plan.is_direct());
+        let Plan::PathJoin { segments, joins, value_filter } = &plan else {
+            panic!("expected path plan")
+        };
+        assert_eq!(*joins, segments.len() - 1);
+        assert!(*joins >= 1);
+        assert!(!value_filter);
+        // Seed (first segment) is the exact one.
+        assert!(segments[0].exact);
+        assert!(segments.iter().skip(1).all(|s| !s.exact));
+    }
+
+    #[test]
+    fn value_path_plans_table_filter() {
+        let (g, idx) = figure2();
+        let q = Query::parse(&g, "//title[text() = \"Star Wars\"]").unwrap();
+        let plan = explain_apex(&idx, &q);
+        let Plan::PathJoin { value_filter, .. } = &plan else { panic!() };
+        assert!(value_filter);
+        assert!(plan.render(&g, &q).contains("value filter"));
+    }
+
+    #[test]
+    fn qtype2_plan_counts_seeds() {
+        let (g, idx) = figure2();
+        let q = Query::parse(&g, "//movie//name").unwrap();
+        let plan = explain_apex(&idx, &q);
+        let Plan::AncestorDescendant { start_classes, seed_pairs } = plan else {
+            panic!()
+        };
+        assert!(start_classes >= 1);
+        // T(movie) = {<0,14>, <7,8>, <9,8>, <16,14>}.
+        assert_eq!(seed_pairs, 4);
+    }
+
+    #[test]
+    fn plan_matches_execution_cost_shape() {
+        // A direct plan must execute with zero join work; a join plan
+        // with nonzero join work.
+        use crate::apex_qp::ApexProcessor;
+        use crate::batch::QueryProcessor;
+        use apex_storage::{DataTable, PageModel};
+        let (g, idx) = figure2();
+        let table = DataTable::build(&g, PageModel::default());
+        let qp = ApexProcessor::new(&g, &idx, &table);
+
+        let direct = Query::parse(&g, "//actor/name").unwrap();
+        assert!(explain_apex(&idx, &direct).is_direct());
+        assert_eq!(qp.eval(&direct).cost.join_work, 0);
+
+        let joined = Query::parse(&g, "//director/movie/title").unwrap();
+        assert!(!explain_apex(&idx, &joined).is_direct());
+        assert!(qp.eval(&joined).cost.join_work > 0);
+    }
+}

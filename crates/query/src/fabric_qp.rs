@@ -1,0 +1,87 @@
+//! The Index Fabric query processor (QTYPE3 only — the fabric indexes
+//! path+value keys and "is not effective" for QTYPE1/QTYPE2, §2).
+
+use apex_storage::Cost;
+use fabric::IndexFabric;
+use xmlgraph::XmlGraph;
+
+use crate::ast::Query;
+use crate::batch::{QueryOutput, QueryProcessor};
+
+/// Query processor over an [`IndexFabric`].
+pub struct FabricProcessor<'a> {
+    g: &'a XmlGraph,
+    fabric: &'a IndexFabric,
+}
+
+impl<'a> FabricProcessor<'a> {
+    /// Creates a processor.
+    pub fn new(g: &'a XmlGraph, fabric: &'a IndexFabric) -> Self {
+        FabricProcessor { g, fabric }
+    }
+}
+
+impl QueryProcessor for FabricProcessor<'_> {
+    fn name(&self) -> &'static str {
+        "Fabric"
+    }
+
+    /// QTYPE3 queries are answered from the trie alone: partial-matching
+    /// expressions traverse the whole trie and validate keys. QTYPE1 and
+    /// QTYPE2 return empty with zero cost — callers exclude the fabric
+    /// from those experiments, as the paper does.
+    fn eval(&self, q: &Query) -> QueryOutput {
+        let mut cost = Cost::new();
+        let nodes = match q {
+            Query::ValuePath { labels, value } => {
+                let mut nodes = self.fabric.search_partial(labels, value, &mut cost);
+                self.g.sort_doc_order(&mut nodes);
+                nodes
+            }
+            _ => Vec::new(),
+        };
+        QueryOutput { nodes, cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveProcessor;
+    use apex_storage::{DataTable, PageModel};
+    use xmlgraph::builder::moviedb;
+    use xmlgraph::LabelPath;
+
+    #[test]
+    fn qtype3_matches_naive() {
+        let g = moviedb();
+        let f = IndexFabric::build(&g);
+        let t = DataTable::build(&g, PageModel::default());
+        let fp = FabricProcessor::new(&g, &f);
+        let nv = NaiveProcessor::new(&g, &t);
+        for (p, v) in [
+            ("title", "Star Wars"),
+            ("movie.title", "The Empire Strikes Back"),
+            ("actor.name", "Mark Hamill"),
+            ("name", "George Lucas"),
+            ("title", "nope"),
+        ] {
+            let q = Query::ValuePath {
+                labels: LabelPath::parse(&g, p).unwrap().0,
+                value: v.into(),
+            };
+            assert_eq!(fp.eval(&q).nodes, nv.eval(&q).nodes, "//{p}[text()={v}]");
+        }
+    }
+
+    #[test]
+    fn non_value_queries_unsupported() {
+        let g = moviedb();
+        let f = IndexFabric::build(&g);
+        let fp = FabricProcessor::new(&g, &f);
+        let q = Query::PartialPath {
+            labels: LabelPath::parse(&g, "title").unwrap().0,
+        };
+        assert!(fp.eval(&q).nodes.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Direct graph-traversal evaluator — the correctness oracle.
+//!
+//! Evaluates queries straight over `G_XML` with no index. Every other
+//! processor is tested for result equality against this one. It also
+//! accounts a coarse cost (edges scanned) so it can serve as a
+//! "no index" baseline in ablations.
+
+use apex_storage::{Cost, DataTable, PageModel};
+use xmlgraph::{LabelId, NodeId, XmlGraph};
+
+use crate::ast::Query;
+use crate::batch::{QueryOutput, QueryProcessor};
+
+/// The naive evaluator.
+pub struct NaiveProcessor<'a> {
+    g: &'a XmlGraph,
+    table: &'a DataTable,
+    /// All edges grouped by label: `by_label[l] = (from, to)*`.
+    by_label: Vec<Vec<(NodeId, NodeId)>>,
+    pages: PageModel,
+}
+
+impl<'a> NaiveProcessor<'a> {
+    /// Builds the evaluator (one pass to group edges by label).
+    pub fn new(g: &'a XmlGraph, table: &'a DataTable) -> Self {
+        let mut by_label: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); g.label_count()];
+        for (from, l, to) in g.edges() {
+            by_label[l.idx()].push((from, to));
+        }
+        NaiveProcessor { g, table, by_label, pages: PageModel::default() }
+    }
+
+    /// Nodes reached by `//l_1/…/l_n`: start from every `l_1` edge and
+    /// follow the remaining labels.
+    fn eval_path(&self, labels: &[LabelId], cost: &mut Cost) -> Vec<NodeId> {
+        let first = &self.by_label[labels[0].idx()];
+        cost.extent_pairs += first.len() as u64;
+        let mut frontier: Vec<NodeId> = first.iter().map(|&(_, to)| to).collect();
+        frontier.sort_unstable();
+        frontier.dedup();
+        for &l in &labels[1..] {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for e in self.g.out_edges(v) {
+                    cost.extent_pairs += 1;
+                    if e.label == l {
+                        next.push(e.to);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        frontier
+    }
+
+    /// `//l_i//l_j`: BFS from the targets of `l_i` edges; collect targets
+    /// of `l_j` edges whose source is reachable.
+    fn eval_anc_desc(&self, first: LabelId, last: LabelId, cost: &mut Cost) -> Vec<NodeId> {
+        let starts = &self.by_label[first.idx()];
+        cost.extent_pairs += starts.len() as u64;
+        let mut reachable = vec![false; self.g.node_count()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &(_, to) in starts {
+            if !reachable[to.idx()] {
+                reachable[to.idx()] = true;
+                stack.push(to);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(v) = stack.pop() {
+            for e in self.g.out_edges(v) {
+                cost.extent_pairs += 1;
+                if e.label == last {
+                    out.push(e.to);
+                }
+                if !reachable[e.to.idx()] {
+                    reachable[e.to.idx()] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl QueryProcessor for NaiveProcessor<'_> {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn eval(&self, q: &Query) -> QueryOutput {
+        let mut cost = Cost::new();
+        let nodes = match q {
+            Query::PartialPath { labels } => self.eval_path(labels, &mut cost),
+            Query::AncestorDescendant { first, last } => {
+                self.eval_anc_desc(*first, *last, &mut cost)
+            }
+            Query::ValuePath { labels, value } => {
+                let mut nodes = self.eval_path(labels, &mut cost);
+                nodes.retain(|&n| self.table.value(n) == Some(value.as_str()));
+                nodes
+            }
+        };
+        // Without an index, every scanned edge is a data-page touch
+        // (8 bytes per adjacency entry, no reuse across frontiers).
+        cost.pages_read += self.pages.pages_for_bytes(cost.extent_pairs as usize * 8).max(1);
+        QueryOutput { nodes, cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_storage::PageModel;
+    use xmlgraph::builder::moviedb;
+    use xmlgraph::LabelPath;
+
+    fn setup(g: &XmlGraph) -> (DataTable, Vec<(String, Vec<u32>)>) {
+        let t = DataTable::build(g, PageModel::default());
+        (t, vec![])
+    }
+
+    #[test]
+    fn qtype1_on_moviedb() {
+        let g = moviedb();
+        let (t, _) = setup(&g);
+        let p = NaiveProcessor::new(&g, &t);
+        let q = Query::PartialPath {
+            labels: LabelPath::parse(&g, "actor.name").unwrap().0,
+        };
+        let out = p.eval(&q);
+        assert_eq!(out.nodes, vec![NodeId(3), NodeId(5)]);
+    }
+
+    #[test]
+    fn qtype1_with_dereference() {
+        let g = moviedb();
+        let (t, _) = setup(&g);
+        let p = NaiveProcessor::new(&g, &t);
+        let q = Query::PartialPath {
+            labels: LabelPath::parse(&g, "@movie.movie.title").unwrap().0,
+        };
+        let out = p.eval(&q);
+        // @movie(9)=>movie(8)->title(10); @movie(16)=>movie(14)->title(17).
+        assert_eq!(out.nodes, vec![NodeId(10), NodeId(17)]);
+    }
+
+    #[test]
+    fn qtype2_on_moviedb() {
+        let g = moviedb();
+        let (t, _) = setup(&g);
+        let p = NaiveProcessor::new(&g, &t);
+        let movie = g.label_id("movie").unwrap();
+        let name = g.label_id("name").unwrap();
+        let out = p.eval(&Query::AncestorDescendant { first: movie, last: name });
+        // Movie edges land on 8 and 14. Reachable name edges: 12->13 (via
+        // the director child of movie 14 and via @director(6) of movie 8)
+        // and 2->3 (via @actor(15) of movie 14). Names 5 and 11 hang off
+        // actor 4 / director 7, which no movie reaches.
+        assert_eq!(out.nodes, vec![NodeId(3), NodeId(13)]);
+    }
+
+    #[test]
+    fn qtype3_on_moviedb() {
+        let g = moviedb();
+        let (t, _) = setup(&g);
+        let p = NaiveProcessor::new(&g, &t);
+        let q = Query::ValuePath {
+            labels: LabelPath::parse(&g, "title").unwrap().0,
+            value: "Star Wars".into(),
+        };
+        let out = p.eval(&q);
+        assert_eq!(out.nodes, vec![NodeId(10)]);
+    }
+
+    #[test]
+    fn unmatched_path_is_empty() {
+        let g = moviedb();
+        let (t, _) = setup(&g);
+        let p = NaiveProcessor::new(&g, &t);
+        let q = Query::PartialPath {
+            labels: LabelPath::parse(&g, "title.title").unwrap().0,
+        };
+        assert!(p.eval(&q).nodes.is_empty());
+    }
+}

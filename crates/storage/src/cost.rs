@@ -1,0 +1,118 @@
+//! Logical cost counters.
+//!
+//! The paper's figures report elapsed seconds on 2002 hardware. To compare
+//! *shapes* robustly, every query processor in this reproduction
+//! accumulates machine-independent counters alongside wall time.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated while evaluating queries.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Cost {
+    /// Edges of an *index* structure traversed (the paper's "edge lookup"
+    /// during pruning/rewriting, e.g. 14 for q1 on the strong DataGuide).
+    pub index_edges: u64,
+    /// Hash-table lookups (H_APEX probes, DataGuide child lookups).
+    pub hash_lookups: u64,
+    /// Extent pairs scanned (read out of storage).
+    pub extent_pairs: u64,
+    /// Pair comparisons performed by joins.
+    pub join_work: u64,
+    /// Pairs produced by joins.
+    pub join_output: u64,
+    /// 8 KiB pages read (extent scans, data-table probes, trie blocks).
+    pub pages_read: u64,
+    /// Data-table probes (QTYPE3 value checks).
+    pub table_probes: u64,
+    /// Patricia-trie / index-block node visits (Index Fabric).
+    pub trie_nodes: u64,
+}
+
+impl Cost {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of all counters — a crude single-number "logical cost" used for
+    /// quick comparisons; figures report individual counters too.
+    pub fn total(&self) -> u64 {
+        self.index_edges
+            + self.hash_lookups
+            + self.extent_pairs
+            + self.join_work
+            + self.join_output
+            + self.pages_read
+            + self.table_probes
+            + self.trie_nodes
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Self) {
+        self.index_edges += rhs.index_edges;
+        self.hash_lookups += rhs.hash_lookups;
+        self.extent_pairs += rhs.extent_pairs;
+        self.join_work += rhs.join_work;
+        self.join_output += rhs.join_output;
+        self.pages_read += rhs.pages_read;
+        self.table_probes += rhs.table_probes;
+        self.trie_nodes += rhs.trie_nodes;
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "idx_edges={} hash={} extent={} join_work={} join_out={} pages={} probes={} trie={}",
+            self.index_edges,
+            self.hash_lookups,
+            self.extent_pairs,
+            self.join_work,
+            self.join_output,
+            self.pages_read,
+            self.table_probes,
+            self.trie_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Cost { index_edges: 1, pages_read: 2, ..Cost::new() };
+        let b = Cost { index_edges: 10, join_work: 5, ..Cost::new() };
+        a += b;
+        assert_eq!(a.index_edges, 11);
+        assert_eq!(a.join_work, 5);
+        assert_eq!(a.pages_read, 2);
+    }
+
+    #[test]
+    fn total_sums_everything() {
+        let c = Cost {
+            index_edges: 1,
+            hash_lookups: 2,
+            extent_pairs: 3,
+            join_work: 4,
+            join_output: 5,
+            pages_read: 6,
+            table_probes: 7,
+            trie_nodes: 8,
+        };
+        assert_eq!(c.total(), 36);
+        let mut c2 = c;
+        c2.reset();
+        assert_eq!(c2.total(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The `nid → value` data table used by QTYPE3 queries.
+//!
+//! The paper: "the query processor tests the nodes by looking up the data
+//! table which keeps all node identifiers (nid) and corresponding data
+//! values" (§6.1). This is that table, with a value→nids inverse used by
+//! the workload generator to pick queries with non-empty results.
+
+use std::collections::HashMap;
+
+use xmlgraph::{NodeId, XmlGraph};
+
+use crate::cost::Cost;
+use crate::pages::PageModel;
+
+/// Sorted `nid → value` table with page-cost-accounted probes.
+#[derive(Debug, Clone)]
+pub struct DataTable {
+    entries: Vec<(NodeId, Box<str>)>,
+    by_value: HashMap<Box<str>, Vec<NodeId>>,
+    pages: PageModel,
+    avg_entry_bytes: usize,
+}
+
+impl DataTable {
+    /// Extracts all leaf values of `g`.
+    pub fn build(g: &XmlGraph, pages: PageModel) -> Self {
+        let mut entries: Vec<(NodeId, Box<str>)> = Vec::new();
+        let mut by_value: HashMap<Box<str>, Vec<NodeId>> = HashMap::new();
+        let mut bytes = 0usize;
+        for n in g.nodes() {
+            if let Some(v) = g.value(n) {
+                bytes += 8 + v.len();
+                entries.push((n, v.into()));
+                by_value.entry(v.into()).or_default().push(n);
+            }
+        }
+        entries.sort_by_key(|(n, _)| *n);
+        let avg_entry_bytes = if entries.is_empty() { 16 } else { bytes / entries.len() };
+        DataTable { entries, by_value, pages, avg_entry_bytes }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no leaf carries a value.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value of `nid`, without cost accounting (test/inspection use).
+    pub fn value(&self, nid: NodeId) -> Option<&str> {
+        self.entries
+            .binary_search_by_key(&nid, |(n, _)| *n)
+            .ok()
+            .map(|i| self.entries[i].1.as_ref())
+    }
+
+    /// Cost-accounted probe: does `nid` carry exactly `expected`?
+    pub fn probe(&self, nid: NodeId, expected: &str, cost: &mut Cost) -> bool {
+        self.pages
+            .charge_table_probe(cost, self.entries.len(), self.avg_entry_bytes);
+        self.value(nid) == Some(expected)
+    }
+
+    /// Nodes carrying `value` (uncosted; used by the workload generator).
+    pub fn nodes_with_value(&self, value: &str) -> &[NodeId] {
+        self.by_value.get(value).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterates over `(nid, value)` in nid order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &str)> {
+        self.entries.iter().map(|(n, v)| (*n, v.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlgraph::builder::moviedb;
+
+    #[test]
+    fn builds_from_leaves() {
+        let g = moviedb();
+        let t = DataTable::build(&g, PageModel::default());
+        // moviedb leaves: year(1), names(3,5,11,13), titles(10,17) = 7.
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.value(NodeId(10)), Some("Star Wars"));
+        assert_eq!(t.value(NodeId(0)), None);
+    }
+
+    #[test]
+    fn probe_counts_cost() {
+        let g = moviedb();
+        let t = DataTable::build(&g, PageModel::default());
+        let mut c = Cost::new();
+        assert!(t.probe(NodeId(10), "Star Wars", &mut c));
+        assert!(!t.probe(NodeId(10), "Jaws", &mut c));
+        assert!(!t.probe(NodeId(0), "x", &mut c));
+        assert_eq!(c.table_probes, 3);
+        assert!(c.pages_read >= 3);
+    }
+
+    #[test]
+    fn inverse_index_finds_nodes() {
+        let g = moviedb();
+        let t = DataTable::build(&g, PageModel::default());
+        assert_eq!(t.nodes_with_value("Star Wars"), &[NodeId(10)]);
+        assert!(t.nodes_with_value("missing").is_empty());
+    }
+
+    #[test]
+    fn iter_in_nid_order() {
+        let g = moviedb();
+        let t = DataTable::build(&g, PageModel::default());
+        let nids: Vec<u32> = t.iter().map(|(n, _)| n.0).collect();
+        let mut sorted = nids.clone();
+        sorted.sort_unstable();
+        assert_eq!(nids, sorted);
+    }
+}

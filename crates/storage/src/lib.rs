@@ -1,0 +1,35 @@
+//! # apex-storage — extents, data table, page model, cost accounting
+//!
+//! The paper stores index extents and a `nid → value` data table "on a
+//! local disk" and reports query *times*. This crate gives the
+//! reproduction a deterministic analogue:
+//!
+//! * [`edgeset::EdgeSet`] — the extent representation (sets of
+//!   `<parent, node>` edge pairs, Definition 7), with the merge/union/
+//!   semijoin kernels every query processor uses;
+//! * [`cost::Cost`] — logical cost counters (edges scanned, hash lookups,
+//!   index edges navigated, join output, pages read) accumulated by each
+//!   processor so experiments can report machine-independent costs next to
+//!   wall-clock times;
+//! * [`pages::PageModel`] — an 8 KiB page model that converts extent scans
+//!   and data-table probes into page reads (the Index Fabric block size
+//!   used in §6.1);
+//! * [`datatable::DataTable`] — the `nid → value` table used by QTYPE3
+//!   queries;
+//! * [`diskstore::ExtentStore`] — a real file-backed, page-aligned
+//!   extent store validating the page model against genuine I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod datatable;
+pub mod diskstore;
+pub mod edgeset;
+pub mod pages;
+
+pub use cost::Cost;
+pub use datatable::DataTable;
+pub use edgeset::{EdgePair, EdgeSet};
+pub use diskstore::{ExtentId, ExtentStore};
+pub use pages::PageModel;

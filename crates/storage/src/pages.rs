@@ -1,0 +1,154 @@
+//! Page model: converts logical accesses into page reads.
+//!
+//! §6.1 of the paper sets the Index Fabric block size to 8 KiB; we use the
+//! same page size for every storage structure so page counts are
+//! comparable across indexes.
+
+use crate::cost::Cost;
+
+/// Converts byte volumes into page reads at a fixed page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageModel {
+    /// Page size in bytes.
+    pub page_size: usize,
+}
+
+/// The paper's 8 KiB block size.
+pub const DEFAULT_PAGE_SIZE: usize = 8 * 1024;
+
+impl Default for PageModel {
+    fn default() -> Self {
+        PageModel { page_size: DEFAULT_PAGE_SIZE }
+    }
+}
+
+impl PageModel {
+    /// A model with a custom page size (must be non-zero).
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be non-zero");
+        PageModel { page_size }
+    }
+
+    /// Pages needed to hold `bytes` (minimum 1 for non-empty data).
+    pub fn pages_for_bytes(&self, bytes: usize) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.page_size) as u64
+        }
+    }
+
+    /// Charges a full scan of an extent of `pairs` edge pairs
+    /// (8 bytes per pair) to `cost`.
+    pub fn charge_extent_scan(&self, cost: &mut Cost, pairs: usize) {
+        cost.extent_pairs += pairs as u64;
+        cost.pages_read += self.pages_for_bytes(pairs * 8);
+    }
+
+    /// Charges an indexed extent probe: `probes` binary-searched range
+    /// lookups into an extent of `extent_pairs` pairs returning
+    /// `matches` pairs. Models one page per probed range plus the pages
+    /// holding the matches (clustered, so contiguous).
+    pub fn charge_extent_probe(
+        &self,
+        cost: &mut Cost,
+        extent_pairs: usize,
+        probes: usize,
+        matches: usize,
+    ) {
+        cost.extent_pairs += matches as u64;
+        let extent_pages = self.pages_for_bytes(extent_pairs * 8).max(1);
+        let touched = (probes as u64).min(extent_pages) + self.pages_for_bytes(matches * 8);
+        cost.pages_read += touched;
+    }
+
+    /// Charges one data-table probe: a root-to-leaf descent of a paged
+    /// binary-searchable table with `entries` entries, ~`entry_bytes` per
+    /// entry. Models `ceil(log2(pages))+1` page touches, floored at 1.
+    pub fn charge_table_probe(&self, cost: &mut Cost, entries: usize, entry_bytes: usize) {
+        cost.table_probes += 1;
+        let pages = self.pages_for_bytes(entries * entry_bytes).max(1);
+        let touched = 64 - pages.leading_zeros() as u64; // ~log2(pages)+1
+        cost.pages_read += touched.max(1);
+    }
+}
+
+/// Per-query buffer pool: each storage object (an extent, an index-graph
+/// node, a table segment) is charged its pages once per query; repeated
+/// touches hit the cache. Mirrors the paper's environment, where indexes
+/// live on disk but a query's working set fits in RAM.
+#[derive(Debug, Default)]
+pub struct PageCache {
+    seen: std::collections::HashSet<u64>,
+}
+
+impl PageCache {
+    /// Fresh cache (create one per query).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges the pages of object `id` (`bytes` large) on first touch.
+    pub fn charge_once(&mut self, cost: &mut Cost, id: u64, bytes: usize, model: &PageModel) {
+        if self.seen.insert(id) {
+            cost.pages_read += model.pages_for_bytes(bytes).max(1);
+        }
+    }
+
+    /// Number of distinct objects touched.
+    pub fn objects(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_cache_charges_once() {
+        let m = PageModel::default();
+        let mut cache = PageCache::new();
+        let mut c = Cost::new();
+        cache.charge_once(&mut c, 7, 10_000, &m); // 2 pages
+        cache.charge_once(&mut c, 7, 10_000, &m); // cached
+        cache.charge_once(&mut c, 8, 10, &m); // 1 page
+        assert_eq!(c.pages_read, 3);
+        assert_eq!(cache.objects(), 2);
+    }
+
+    #[test]
+    fn pages_for_bytes_rounds_up() {
+        let m = PageModel::default();
+        assert_eq!(m.pages_for_bytes(0), 0);
+        assert_eq!(m.pages_for_bytes(1), 1);
+        assert_eq!(m.pages_for_bytes(8192), 1);
+        assert_eq!(m.pages_for_bytes(8193), 2);
+    }
+
+    #[test]
+    fn extent_scan_charges_pairs_and_pages() {
+        let m = PageModel::default();
+        let mut c = Cost::new();
+        m.charge_extent_scan(&mut c, 2000); // 16000 bytes -> 2 pages
+        assert_eq!(c.extent_pairs, 2000);
+        assert_eq!(c.pages_read, 2);
+    }
+
+    #[test]
+    fn table_probe_is_logarithmic() {
+        let m = PageModel::default();
+        let mut small = Cost::new();
+        m.charge_table_probe(&mut small, 10, 16);
+        let mut big = Cost::new();
+        m.charge_table_probe(&mut big, 1_000_000, 16);
+        assert_eq!(small.table_probes, 1);
+        assert!(big.pages_read > small.pages_read);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_page_size_panics() {
+        let _ = PageModel::new(0);
+    }
+}

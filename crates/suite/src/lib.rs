@@ -1,0 +1,84 @@
+//! # apex-suite — shared fixtures for integration tests and examples
+//!
+//! This crate wires the workspace-level `tests/` and `examples/`
+//! directories into Cargo and provides the common setup every experiment
+//! needs: build a dataset, its data table, all four indexes, and the
+//! query processors over them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apex::{Apex, Workload};
+use apex_query::generator::{GeneratorConfig, QuerySets};
+use apex_storage::{DataTable, PageModel};
+use dataguide::DataGuide;
+use fabric::IndexFabric;
+use oneindex::OneIndex;
+use xmlgraph::XmlGraph;
+
+/// Everything needed to run one experiment on one dataset.
+pub struct Fixture {
+    /// The data graph.
+    pub g: XmlGraph,
+    /// Its `nid → value` table.
+    pub table: DataTable,
+    /// APEX⁰ (before any workload refinement).
+    pub apex0: Apex,
+    /// The strong DataGuide.
+    pub sdg: DataGuide,
+    /// The 1-index.
+    pub oneindex: OneIndex,
+    /// The Index Fabric.
+    pub fabric: IndexFabric,
+    /// Generated query sets and the tuning workload.
+    pub queries: QuerySets,
+}
+
+impl Fixture {
+    /// Builds the full fixture for `g` with query-generation `cfg`.
+    pub fn build(g: XmlGraph, cfg: GeneratorConfig) -> Fixture {
+        let table = DataTable::build(&g, PageModel::default());
+        let apex0 = Apex::build_initial(&g);
+        let sdg = DataGuide::build(&g);
+        let oneindex = OneIndex::build(&g);
+        let fabric = IndexFabric::build(&g);
+        let queries = QuerySets::generate(&g, &table, cfg);
+        Fixture { table, apex0, sdg, oneindex, fabric, queries, g }
+    }
+
+    /// A refined APEX at the given `min_sup`, built from `APEX⁰` with the
+    /// fixture's workload.
+    pub fn apex_at(&self, min_sup: f64) -> Apex {
+        let mut idx = self.apex0.clone();
+        idx.refine(&self.g, &self.queries.workload, min_sup);
+        idx
+    }
+
+    /// A refined APEX using an explicit workload.
+    pub fn apex_with(&self, workload: &Workload, min_sup: f64) -> Apex {
+        let mut idx = self.apex0.clone();
+        idx.refine(&self.g, workload, min_sup);
+        idx
+    }
+}
+
+/// Small dataset variants used by integration tests (fast to build, same
+/// structure families as Table 1).
+pub mod small {
+    use xmlgraph::XmlGraph;
+
+    /// One Shakespeare play (~5k nodes).
+    pub fn play() -> XmlGraph {
+        datagen::shakespeare(1, 42)
+    }
+
+    /// A 30-review FlixML corpus (~2k nodes).
+    pub fn flix() -> XmlGraph {
+        datagen::flixml(30, 42)
+    }
+
+    /// A 40-individual GedML corpus (~1k nodes, dense references).
+    pub fn ged() -> XmlGraph {
+        datagen::gedml(40, 42)
+    }
+}

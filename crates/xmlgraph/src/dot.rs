@@ -1,0 +1,102 @@
+//! Graphviz (DOT) export for data graphs — visualization/debug aid.
+
+use std::fmt::Write as _;
+
+use crate::model::XmlGraph;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Include leaf values in node labels.
+    pub show_values: bool,
+    /// Cap on nodes rendered (large graphs are unreadable anyway).
+    pub max_nodes: usize,
+    /// Graph name.
+    pub name: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { show_values: true, max_nodes: 500, name: "gxml".into() }
+    }
+}
+
+/// Renders `g` as a DOT digraph. Reference edges (non-tree) are drawn
+/// dashed, mirroring the paper's Figure 1 style.
+pub fn to_dot(g: &XmlGraph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", opts.name);
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=10];");
+    let limit = opts.max_nodes.min(g.node_count());
+    for n in g.nodes().take(limit) {
+        let tag = g.label_str(g.tag(n));
+        let label = match (opts.show_values, g.value(n)) {
+            (true, Some(v)) => format!("{}:{}\\n\\\"{}\\\"", n.0, tag, escape(v)),
+            _ => format!("{}:{}", n.0, tag),
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", n.0, label);
+    }
+    for (from, l, to) in g.edges() {
+        if from.idx() >= limit || to.idx() >= limit {
+            continue;
+        }
+        let style = if g.tree_parent(to) == from { "solid" } else { "dashed" };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\", style={}];",
+            from.0,
+            to.0,
+            escape(g.label_str(l)),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::moviedb;
+
+    #[test]
+    fn renders_moviedb() {
+        let g = moviedb();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph gxml {"));
+        assert!(dot.contains("n0 [label=\"0:MovieDB\"]"));
+        // Reference edges are dashed.
+        assert!(dot.contains("style=dashed"));
+        // Tree edges are solid.
+        assert!(dot.contains("style=solid"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn max_nodes_caps_output() {
+        let g = moviedb();
+        let dot = to_dot(&g, &DotOptions { max_nodes: 3, ..DotOptions::default() });
+        assert!(!dot.contains("n17"));
+    }
+
+    #[test]
+    fn values_escaped() {
+        let mut b = crate::GraphBuilder::new("r");
+        let root = b.root();
+        b.add_value_child(root, "t", "say \"hi\"");
+        let g = b.finish().unwrap();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("\\\"hi\\\""));
+    }
+
+    #[test]
+    fn hide_values() {
+        let g = moviedb();
+        let dot = to_dot(&g, &DotOptions { show_values: false, ..DotOptions::default() });
+        assert!(!dot.contains("Star Wars"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for graph construction and XML parsing.
+
+use std::fmt;
+
+/// Error raised while finishing a [`crate::GraphBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An IDREF attribute referenced an ID that no element declared.
+    UnresolvedRef {
+        /// The attribute node that holds the dangling reference.
+        attr_node: u32,
+        /// The referenced (missing) ID string.
+        target_id: String,
+    },
+    /// The same ID string was registered for two different nodes.
+    DuplicateId {
+        /// The ID string registered twice.
+        id: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnresolvedRef { attr_node, target_id } => write!(
+                f,
+                "attribute node {attr_node} references undeclared id `{target_id}`"
+            ),
+            BuildError::DuplicateId { id } => write!(f, "duplicate id `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Error raised by the XML parser, with 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: u32,
+    /// 1-based column of the offending input.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: u32, col: u32, msg: impl Into<String>) -> Self {
+        ParseError { line, col, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<BuildError> for ParseError {
+    fn from(e: BuildError) -> Self {
+        ParseError::new(0, 0, e.to_string())
+    }
+}

@@ -1,0 +1,255 @@
+//! The directed labeled edge graph `G_XML` (Definition 1 of the paper).
+
+use crate::interner::Interner;
+
+/// Node identifier (`nid`). Dense, assigned in document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// The `NULL` nid used as the parent of the root in extents
+/// (the paper's `<NULL, root>` edge).
+pub const NULL_NODE: NodeId = NodeId(u32::MAX);
+
+impl NodeId {
+    /// Index form for dense per-node tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True if this is the `NULL` sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == NULL_NODE
+    }
+}
+
+/// Interned edge-label identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// Index form for dense per-label tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An outgoing edge `(label, to)` of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Edge label.
+    pub label: LabelId,
+    /// Ending node.
+    pub to: NodeId,
+}
+
+/// The structure of XML data: `G_XML = (V, E, root, A)`.
+///
+/// * Inner nodes are elements and `@attribute` nodes; leaf nodes carry a
+///   string value (`V_a`).
+/// * Reference relationships (ID/IDREF) appear as an edge from an element
+///   to its `@attr` node plus an edge from the `@attr` node to the target
+///   element, labeled with the target element's tag — exactly the encoding
+///   of Figure 1 of the paper.
+/// * Every node records its document order; query results are sorted by it.
+#[derive(Debug, Clone)]
+pub struct XmlGraph {
+    pub(crate) labels: Interner,
+    pub(crate) out: Vec<Vec<Edge>>,
+    pub(crate) values: Vec<Option<Box<str>>>,
+    /// The tag of each node = the label of its incoming tree edge
+    /// (`@attr` for attribute nodes; the root keeps its own tag).
+    pub(crate) tags: Vec<LabelId>,
+    /// Tree parent of each node (`NULL_NODE` for the root). Reference
+    /// edges never appear here, so this always forms a spanning tree.
+    pub(crate) tree_parent: Vec<NodeId>,
+    pub(crate) root: NodeId,
+    /// `@`-labels that carry ID/IDREF references (Table 1's parenthesized
+    /// label counts).
+    pub(crate) idref_labels: Vec<LabelId>,
+    pub(crate) edge_count: usize,
+}
+
+impl XmlGraph {
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges `|E|` (including reference edges).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Outgoing edges of `n` in document order of their targets.
+    #[inline]
+    pub fn out_edges(&self, n: NodeId) -> &[Edge] {
+        &self.out[n.idx()]
+    }
+
+    /// The value of a leaf node, if any.
+    #[inline]
+    pub fn value(&self, n: NodeId) -> Option<&str> {
+        self.values[n.idx()].as_deref()
+    }
+
+    /// True if `n` has no outgoing edges.
+    #[inline]
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.out[n.idx()].is_empty()
+    }
+
+    /// The tag of `n` (label of its incoming tree edge).
+    #[inline]
+    pub fn tag(&self, n: NodeId) -> LabelId {
+        self.tags[n.idx()]
+    }
+
+    /// Tree parent of `n` (`NULL_NODE` for the root).
+    #[inline]
+    pub fn tree_parent(&self, n: NodeId) -> NodeId {
+        self.tree_parent[n.idx()]
+    }
+
+    /// Document order of `n`. Nids are assigned in document order, so the
+    /// nid itself serves as the document-order key.
+    #[inline]
+    pub fn doc_order(&self, n: NodeId) -> u32 {
+        n.0
+    }
+
+    /// The label interner.
+    #[inline]
+    pub fn labels(&self) -> &Interner {
+        &self.labels
+    }
+
+    /// Number of distinct labels `|A|`.
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Resolves a label id to its string.
+    #[inline]
+    pub fn label_str(&self, l: LabelId) -> &str {
+        self.labels.resolve(l)
+    }
+
+    /// Looks up a label string.
+    #[inline]
+    pub fn label_id(&self, s: &str) -> Option<LabelId> {
+        self.labels.get(s)
+    }
+
+    /// Labels that carry ID/IDREF references.
+    #[inline]
+    pub fn idref_labels(&self) -> &[LabelId] {
+        &self.idref_labels
+    }
+
+    /// Iterates over all node ids in document order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.out.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edges as `(from, label, to)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, LabelId, NodeId)> + '_ {
+        self.out.iter().enumerate().flat_map(|(from, es)| {
+            es.iter().map(move |e| (NodeId(from as u32), e.label, e.to))
+        })
+    }
+
+    /// Sorts node ids by document order and removes duplicates — the
+    /// post-processing step the paper applies to every query result.
+    pub fn sort_doc_order(&self, nodes: &mut Vec<NodeId>) {
+        nodes.sort_unstable();
+        nodes.dedup();
+    }
+
+    /// Renders the label path of `path` as a dot-separated string
+    /// (Definition 2 notation, e.g. `movie.title`).
+    pub fn render_path(&self, path: &[LabelId]) -> String {
+        let mut s = String::new();
+        for (i, l) in path.iter().enumerate() {
+            if i > 0 {
+                s.push('.');
+            }
+            s.push_str(self.label_str(*l));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn tiny() -> XmlGraph {
+        // <a><b>v</b><b/><c><b>w</b></c></a>
+        let mut b = GraphBuilder::new("a");
+        let root = b.root();
+        let _b1 = b.add_value_child(root, "b", "v");
+        let _b2 = b.add_child(root, "b");
+        let c = b.add_child(root, "c");
+        b.add_value_child(c, "b", "w");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_and_access() {
+        let g = tiny();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.label_count(), 3);
+        assert_eq!(g.out_edges(g.root()).len(), 3);
+        assert!(g.is_leaf(NodeId(1)));
+        assert_eq!(g.value(NodeId(1)), Some("v"));
+        assert_eq!(g.value(NodeId(2)), None);
+    }
+
+    #[test]
+    fn tags_and_parents() {
+        let g = tiny();
+        let b = g.label_id("b").unwrap();
+        let c = g.label_id("c").unwrap();
+        assert_eq!(g.tag(NodeId(1)), b);
+        assert_eq!(g.tag(NodeId(3)), c);
+        assert_eq!(g.tree_parent(NodeId(4)), NodeId(3));
+        assert!(g.tree_parent(g.root()).is_null());
+    }
+
+    #[test]
+    fn sort_doc_order_dedups() {
+        let g = tiny();
+        let mut v = vec![NodeId(4), NodeId(1), NodeId(4), NodeId(0)];
+        g.sort_doc_order(&mut v);
+        assert_eq!(v, vec![NodeId(0), NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn render_path_dot_notation() {
+        let g = tiny();
+        let a = g.label_id("a").unwrap();
+        let b = g.label_id("b").unwrap();
+        assert_eq!(g.render_path(&[a, b]), "a.b");
+        assert_eq!(g.render_path(&[]), "");
+    }
+
+    #[test]
+    fn edges_iterator_matches_edge_count() {
+        let g = tiny();
+        assert_eq!(g.edges().count(), g.edge_count());
+    }
+}

@@ -1,0 +1,9 @@
+#!/bin/bash
+# Runs every example binary (smoke check of the public API).
+set -e
+cd "$(dirname "$0")/.."
+for ex in quickstart movie_catalog genealogy_workload adaptive_tuning \
+          self_tuning_service save_load_index dump_datasets; do
+  echo "=== $ex ==="
+  cargo run -q -p apex-suite --example "$ex" --release
+done

@@ -1,0 +1,8 @@
+#!/bin/bash
+set -e
+cd "$(dirname "$0")/.."
+for exp in fig13 fig14 fig15 ablation; do
+  echo "=== $exp (paper scale) ==="
+  cargo run -p apex-bench --release --bin $exp -- --scale paper 2>&1 | tee results/${exp}_paper.txt
+done
+echo ALL_FIGS_DONE

@@ -1,0 +1,397 @@
+//! Property-based differential tests: random graphs × random workloads ×
+//! random queries. APEX (refined arbitrarily) and the DataGuide must
+//! always agree with direct graph evaluation, and the index invariants
+//! (Theorems 1 and 2, hash-tree/remainder consistency) must hold.
+
+use apex::{Apex, Workload};
+use apex_query::batch::QueryProcessor;
+use apex_query::naive::NaiveProcessor;
+use apex_query::{apex_qp::ApexProcessor, guide_qp::GuideProcessor};
+use apex_storage::{DataTable, PageModel};
+use dataguide::DataGuide;
+use proptest::prelude::*;
+use xmlgraph::builder::RawGraphBuilder;
+use xmlgraph::{LabelPath, XmlGraph};
+
+/// Strategy parameters for a random labeled digraph: a random tree over
+/// `n` nodes with labels from a small alphabet, plus `extra` reference
+/// edges labeled with their target's tag (the §3 encoding invariant).
+#[derive(Debug, Clone)]
+struct RandGraph {
+    /// parent[i] < i for node i+1.
+    parents: Vec<usize>,
+    /// Tag index (into alphabet) per non-root node.
+    tags: Vec<usize>,
+    /// Extra edges (from, to) by node index.
+    extras: Vec<(usize, usize)>,
+    /// Values on some leaves.
+    values: Vec<(usize, u8)>,
+}
+
+const ALPHABET: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+fn rand_graph(max_nodes: usize) -> impl Strategy<Value = RandGraph> {
+    (2..max_nodes).prop_flat_map(|n| {
+        let parents = (1..n)
+            .map(|i| (0..i).boxed())
+            .collect::<Vec<_>>();
+        let tags = proptest::collection::vec(0..ALPHABET.len(), n - 1);
+        let extras = proptest::collection::vec((0..n, 1..n), 0..n / 2);
+        let values = proptest::collection::vec((1..n, 0u8..5), 0..n / 2);
+        (parents, tags, extras, values).prop_map(|(parents, tags, extras, values)| RandGraph {
+            parents,
+            tags,
+            extras,
+            values,
+        })
+    })
+}
+
+fn materialize(rg: &RandGraph) -> XmlGraph {
+    let n = rg.parents.len() + 1;
+    let mut b = RawGraphBuilder::new();
+    b.node(0, "root", None, None);
+    for i in 1..n {
+        let tag = ALPHABET[rg.tags[i - 1]];
+        let value = rg
+            .values
+            .iter()
+            .find(|(node, _)| *node == i)
+            .map(|(_, v)| format!("v{v}"));
+        b.node(i as u32, tag, Some(rg.parents[i - 1] as u32), value.as_deref());
+    }
+    // Tree edges (label = child's tag).
+    for i in 1..n {
+        let tag = ALPHABET[rg.tags[i - 1]];
+        b.edge(rg.parents[i - 1] as u32, tag, i as u32);
+    }
+    // Extra edges labeled with the target's tag (may create cycles and
+    // multi-parents, like IDREF references).
+    for &(from, to) in &rg.extras {
+        if from == to {
+            continue;
+        }
+        let tag = ALPHABET[rg.tags[to - 1]];
+        b.edge(from as u32, tag, to as u32);
+    }
+    b.finish(&[])
+}
+
+/// Random label paths over the alphabet (some matching, some not).
+fn rand_paths(max_len: usize, count: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..ALPHABET.len(), 1..=max_len),
+        1..=count,
+    )
+}
+
+fn to_label_path(g: &XmlGraph, idxs: &[usize]) -> Option<LabelPath> {
+    let labels = idxs
+        .iter()
+        .map(|&i| g.label_id(ALPHABET[i]))
+        .collect::<Option<Vec<_>>>()?;
+    Some(LabelPath::new(labels))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    /// QTYPE1 equivalence: APEX⁰, workload-refined APEX and the SDG all
+    /// agree with naive evaluation on arbitrary graphs and queries.
+    #[test]
+    fn qtype1_equivalence(
+        rg in rand_graph(40),
+        workload_paths in rand_paths(3, 6),
+        query_paths in rand_paths(4, 12),
+        min_sup in 0.05f64..0.9,
+    ) {
+        let g = materialize(&rg);
+        let table = DataTable::build(&g, PageModel::default());
+        let naive = NaiveProcessor::new(&g, &table);
+        let sdg = DataGuide::build(&g);
+
+        let mut apex = Apex::build_initial(&g);
+        let wl_paths: Vec<LabelPath> = workload_paths
+            .iter()
+            .filter_map(|p| to_label_path(&g, p))
+            .collect();
+        let wl = Workload::from_paths(wl_paths);
+        apex.refine(&g, &wl, min_sup);
+
+        let ap = ApexProcessor::new(&g, &apex, &table);
+        let gp = GuideProcessor::new(&g, &sdg, &table);
+
+        for qp in &query_paths {
+            let Some(path) = to_label_path(&g, qp) else { continue };
+            let q = apex_query::Query::PartialPath { labels: path.0.clone() };
+            let expect = naive.eval(&q).nodes;
+            prop_assert_eq!(&ap.eval(&q).nodes, &expect, "APEX on {}", q.render(&g));
+            prop_assert_eq!(&gp.eval(&q).nodes, &expect, "SDG on {}", q.render(&g));
+        }
+    }
+
+    /// QTYPE2 equivalence on random graphs.
+    #[test]
+    fn qtype2_equivalence(
+        rg in rand_graph(30),
+        pairs in proptest::collection::vec((0..ALPHABET.len(), 0..ALPHABET.len()), 1..8),
+        min_sup in 0.05f64..0.9,
+    ) {
+        let g = materialize(&rg);
+        let table = DataTable::build(&g, PageModel::default());
+        let naive = NaiveProcessor::new(&g, &table);
+        let sdg = DataGuide::build(&g);
+        let mut apex = Apex::build_initial(&g);
+        let wl = Workload::from_paths(vec![]);
+        apex.refine(&g, &wl, min_sup);
+        let ap = ApexProcessor::new(&g, &apex, &table);
+        let gp = GuideProcessor::new(&g, &sdg, &table);
+        for &(a, b) in &pairs {
+            let (Some(first), Some(last)) =
+                (g.label_id(ALPHABET[a]), g.label_id(ALPHABET[b])) else { continue };
+            let q = apex_query::Query::AncestorDescendant { first, last };
+            let expect = naive.eval(&q).nodes;
+            prop_assert_eq!(&ap.eval(&q).nodes, &expect, "APEX on {}", q.render(&g));
+            prop_assert_eq!(&gp.eval(&q).nodes, &expect, "SDG on {}", q.render(&g));
+        }
+    }
+
+    /// Theorems 1 & 2 hold for arbitrary graphs and workloads.
+    #[test]
+    fn theorems_hold(
+        rg in rand_graph(35),
+        workload_paths in rand_paths(3, 8),
+        min_sup in 0.01f64..0.9,
+    ) {
+        let g = materialize(&rg);
+        let mut apex = Apex::build_initial(&g);
+        let wl = Workload::from_paths(
+            workload_paths.iter().filter_map(|p| to_label_path(&g, p)).collect(),
+        );
+        apex.refine(&g, &wl, min_sup);
+
+        // Theorem 1: simulation from G_XML to G_APEX.
+        let mut stack = vec![(g.root(), apex.xroot())];
+        let mut seen = std::collections::HashSet::new();
+        while let Some((v, x)) = stack.pop() {
+            if !seen.insert((v, x)) {
+                continue;
+            }
+            for e in g.out_edges(v) {
+                let child = apex
+                    .out_edges(x)
+                    .iter()
+                    .find(|(l, _)| *l == e.label)
+                    .map(|(_, t)| *t);
+                prop_assert!(child.is_some(), "unsimulated edge label {}", g.label_str(e.label));
+                stack.push((e.to, child.unwrap()));
+            }
+        }
+
+        // Theorem 2: index length-2 paths exist in data.
+        let mut data_pairs = std::collections::HashSet::new();
+        for (_, l1, mid) in g.edges() {
+            for e in g.out_edges(mid) {
+                data_pairs.insert((l1, e.label));
+            }
+        }
+        for x in apex.graph().reachable(apex.xroot()) {
+            if let Some(inc) = apex.incoming_label(x) {
+                for &(l2, _) in apex.out_edges(x) {
+                    prop_assert!(data_pairs.contains(&(inc, l2)));
+                }
+            }
+        }
+
+        // Full structural validator (entry exclusivity, extent labeling,
+        // label coverage, determinism, …).
+        let violations = apex::validate::check(&g, &apex);
+        prop_assert!(violations.is_empty(), "validator: {violations:#?}");
+    }
+
+    /// The one-scan subpath counting in H_APEX agrees with the reference
+    /// support definition.
+    #[test]
+    fn support_counting_correct(
+        rg in rand_graph(25),
+        workload_paths in rand_paths(4, 10),
+        min_sup in 0.1f64..0.9,
+    ) {
+        let g = materialize(&rg);
+        let mut apex = Apex::build_initial(&g);
+        let wl = Workload::from_paths(
+            workload_paths.iter().filter_map(|p| to_label_path(&g, p)).collect(),
+        );
+        apex.refine(&g, &wl, min_sup);
+        let required = apex.required_paths(&g);
+
+        // Every multi-label required path must have support >= minSup;
+        // conversely every subpath of a workload query with support >=
+        // minSup must be required.
+        for r in &required {
+            if !r.contains('.') {
+                continue;
+            }
+            let p = LabelPath::parse(&g, r).unwrap();
+            prop_assert!(
+                wl.support(&p) * (wl.len() as f64) >= min_sup * (wl.len() as f64) - 1e-9,
+                "required {} has support {}", r, wl.support(&p)
+            );
+        }
+        for q in wl.iter() {
+            for sub in q.subpaths() {
+                if sub.len() < 2 {
+                    continue;
+                }
+                if wl.support(&sub) >= min_sup {
+                    let rendered = sub.render(&g);
+                    prop_assert!(
+                        required.contains(&rendered),
+                        "frequent {} missing from required set", rendered
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Algebraic laws of the extent edge-set kernels (the join machinery all
+/// query processors rely on).
+mod edgeset_laws {
+    use apex_storage::{EdgePair, EdgeSet};
+    use proptest::prelude::*;
+    use xmlgraph::NodeId;
+
+    fn pairs(max: u32, count: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+        proptest::collection::vec((0..max, 0..max), 0..count)
+    }
+
+    fn set(v: &[(u32, u32)]) -> EdgeSet {
+        EdgeSet::from_raw(v)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        #[test]
+        fn union_is_commutative_and_idempotent(a in pairs(40, 30), b in pairs(40, 30)) {
+            let (sa, sb) = (set(&a), set(&b));
+            prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+            prop_assert_eq!(sa.union(&sa), sa.clone());
+        }
+
+        #[test]
+        fn difference_union_partition(a in pairs(40, 30), b in pairs(40, 30)) {
+            // (a \ b) ∪ (a ∩ b) == a, where a ∩ b = a \ (a \ b).
+            let (sa, sb) = (set(&a), set(&b));
+            let diff = sa.difference(&sb);
+            let inter = sa.difference(&diff);
+            prop_assert_eq!(diff.union(&inter), sa.clone());
+            prop_assert!(diff.is_subset_of(&sa));
+            prop_assert!(inter.is_subset_of(&sb));
+        }
+
+        #[test]
+        fn union_in_place_matches_union(a in pairs(40, 30), b in pairs(40, 30)) {
+            let (mut sa, sb) = (set(&a), set(&b));
+            let expect = sa.union(&sb);
+            let mut scratch = Vec::new();
+            sa.union_in_place(&sb, &mut scratch);
+            prop_assert_eq!(sa, expect);
+        }
+
+        #[test]
+        fn semijoin_variants_agree(a in pairs(40, 30), b in pairs(40, 30)) {
+            let (sa, sb) = (set(&a), set(&b));
+            let ends = sa.end_nodes();
+            let (scan, _) = sa.semijoin_next(&sb);
+            let (merge, _) = sb.semijoin_ends(&ends);
+            let (probe, _) = sb.probe_by_parents(&ends);
+            prop_assert_eq!(&scan, &merge);
+            prop_assert_eq!(&scan, &probe);
+            // Reference semantics: pairs of b whose parent is an end of a.
+            let expect: Vec<EdgePair> = sb
+                .iter()
+                .filter(|p| ends.binary_search(&p.parent).is_ok())
+                .collect();
+            prop_assert_eq!(scan.pairs().to_vec(), expect);
+        }
+
+        #[test]
+        fn end_nodes_sorted_distinct(a in pairs(40, 60)) {
+            let ends = set(&a).end_nodes();
+            prop_assert!(ends.windows(2).all(|w| w[0] < w[1]));
+            for e in &ends {
+                prop_assert!(a.iter().any(|&(_, n)| NodeId(n) == *e));
+            }
+        }
+    }
+}
+
+/// Persistence: saving and loading any refined index preserves lookups.
+mod persist_roundtrip {
+    use super::{materialize, rand_graph, rand_paths, to_label_path, RandGraph};
+    use apex::{persist, Apex, Workload};
+    use proptest::prelude::*;
+    use xmlgraph::LabelPath;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        #[test]
+        fn save_load_preserves_lookups(
+            rg in rand_graph(30),
+            workload_paths in rand_paths(3, 6),
+            queries in rand_paths(3, 10),
+            min_sup in 0.05f64..0.9,
+        ) {
+            let g = materialize(&rg);
+            let mut apex = Apex::build_initial(&g);
+            let wl = Workload::from_paths(
+                workload_paths.iter().filter_map(|p| to_label_path(&g, p)).collect(),
+            );
+            apex.refine(&g, &wl, min_sup);
+
+            let mut buf = Vec::new();
+            persist::save(&apex, &mut buf).expect("save");
+            let loaded = persist::load(&mut buf.as_slice()).expect("load");
+
+            prop_assert_eq!(apex.stats(), loaded.stats());
+            for q in &queries {
+                let Some(path) = to_label_path(&g, q) else { continue };
+                let a = apex.lookup(path.labels());
+                let b = loaded.lookup(path.labels());
+                prop_assert_eq!(a.matched_len, b.matched_len);
+                let ea = a.xnode.map(|x| apex.extent(x).pairs().to_vec());
+                let eb = b.xnode.map(|x| loaded.extent(x).pairs().to_vec());
+                prop_assert_eq!(ea, eb);
+            }
+            // keep LabelPath import used
+            let _ = LabelPath::new(vec![]);
+        }
+    }
+}
+
+/// The textual query syntax round-trips through parse/render.
+mod query_syntax {
+    use super::{materialize, rand_graph};
+    use apex_query::Query;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+        #[test]
+        fn parse_render_fixpoint(rg in rand_graph(20), idxs in proptest::collection::vec(0..6usize, 1..5)) {
+            let g = materialize(&rg);
+            let labels: Vec<&str> = idxs.iter().map(|&i| super::ALPHABET[i]).collect();
+            // Build a //a/b/c string; skip if any label unused by g.
+            if labels.iter().any(|l| g.label_id(l).is_none()) {
+                return Ok(());
+            }
+            let text = format!("//{}", labels.join("/"));
+            let q = Query::parse(&g, &text).expect("valid syntax");
+            prop_assert_eq!(q.render(&g), text);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Serialization fidelity: generated datasets written to XML text and
+//! re-parsed must produce structurally identical graphs, and indexes
+//! built over the re-parsed graphs must behave identically.
+
+use apex::Apex;
+use xmlgraph::parser::{parse_with, ParserConfig};
+use xmlgraph::writer::{is_writable, write_xml};
+use xmlgraph::XmlGraph;
+
+/// Parser config matching the generators' reference attribute names.
+fn cfg() -> ParserConfig {
+    ParserConfig {
+        id_attrs: vec!["id".into()],
+        idref_attrs: vec![
+            // FlixML
+            "sequel".into(),
+            "remakeof".into(),
+            "related".into(),
+            // GedML
+            "husb".into(),
+            "wife".into(),
+            "chil".into(),
+            "famc".into(),
+            "fams".into(),
+            "alia".into(),
+            "asso".into(),
+            "subm".into(),
+            "sour".into(),
+            "note".into(),
+            "obje".into(),
+            "repo".into(),
+            "anci".into(),
+            "desi".into(),
+        ],
+    }
+}
+
+fn roundtrip(g: &XmlGraph) -> XmlGraph {
+    assert!(is_writable(g), "generated data must be writable");
+    let xml = write_xml(g);
+    parse_with(&xml, &cfg()).expect("round trip parse")
+}
+
+/// Nid-independent structural comparison (the writer emits attributes
+/// before element children, so nids may be permuted after a round trip).
+fn assert_structurally_equal(a: &XmlGraph, b: &XmlGraph) {
+    assert_eq!(a.node_count(), b.node_count(), "node counts differ");
+    assert_eq!(a.edge_count(), b.edge_count(), "edge counts differ");
+    assert_eq!(a.label_count(), b.label_count(), "label counts differ");
+    assert_eq!(
+        a.idref_labels().len(),
+        b.idref_labels().len(),
+        "idref label counts differ"
+    );
+    // Multiset of (tag, value) pairs.
+    let values = |g: &XmlGraph| {
+        let mut v: Vec<(String, String)> = g
+            .nodes()
+            .filter_map(|n| {
+                g.value(n)
+                    .map(|val| (g.label_str(g.tag(n)).to_string(), val.to_string()))
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(values(a), values(b), "value multisets differ");
+    // Multiset of (source tag, edge label) pairs.
+    let shape = |g: &XmlGraph| {
+        let mut v: Vec<(String, String)> = g
+            .edges()
+            .map(|(f, l, _)| {
+                (g.label_str(g.tag(f)).to_string(), g.label_str(l).to_string())
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(shape(a), shape(b), "edge shapes differ");
+    // Distinct rooted label paths agree (bounded).
+    let limits = xmlgraph::paths::EnumLimits { max_len: 6, max_paths: 50_000 };
+    let paths = |g: &XmlGraph| {
+        let mut v: Vec<String> = xmlgraph::paths::rooted_label_paths(g, limits)
+            .iter()
+            .map(|p| p.render(g))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(paths(a), paths(b), "rooted path sets differ");
+}
+
+/// write ∘ parse ∘ write is a fixpoint (up to the synthetic ids the
+/// second write regenerates, which depend only on the re-parsed nids —
+/// so a third pass must reproduce the second exactly).
+fn assert_write_stable(g2: &XmlGraph) {
+    let xml2 = write_xml(g2);
+    let g3 = parse_with(&xml2, &cfg()).expect("second parse");
+    assert_eq!(write_xml(&g3), xml2, "writer not idempotent after parse");
+}
+
+#[test]
+fn shakespeare_roundtrip() {
+    let g = datagen::shakespeare(1, 99);
+    let g2 = roundtrip(&g);
+    assert_structurally_equal(&g, &g2);
+}
+
+#[test]
+fn flixml_roundtrip() {
+    let g = datagen::flixml(25, 99);
+    let g2 = roundtrip(&g);
+    assert_structurally_equal(&g, &g2);
+}
+
+#[test]
+fn gedml_roundtrip() {
+    let g = datagen::gedml(60, 99);
+    let g2 = roundtrip(&g);
+    assert_structurally_equal(&g, &g2);
+}
+
+#[test]
+fn index_over_reparsed_graph_is_identical() {
+    let g = datagen::flixml(20, 7);
+    let g2 = roundtrip(&g);
+    let a = Apex::build_initial(&g);
+    let b = Apex::build_initial(&g2);
+    let sa = a.stats();
+    let sb = b.stats();
+    assert_eq!(sa.nodes, sb.nodes);
+    assert_eq!(sa.edges, sb.edges);
+    assert_eq!(sa.extent_pairs, sb.extent_pairs);
+}
+
+#[test]
+fn double_roundtrip_is_stable() {
+    let g = datagen::gedml(40, 3);
+    let g2 = roundtrip(&g);
+    assert_write_stable(&g2);
+}
+
+#[test]
+fn moviedb_roundtrip() {
+    let g = xmlgraph::builder::moviedb();
+    // moviedb's references use @movie/@actor/@director attrs; all its
+    // non-tree edges are @-sourced, so it is writable.
+    let cfg = ParserConfig {
+        id_attrs: vec!["id".into()],
+        idref_attrs: vec!["movie".into(), "actor".into(), "director".into()],
+    };
+    let xml = write_xml(&g);
+    let g2 = parse_with(&xml, &cfg).expect("parse moviedb");
+    assert_structurally_equal(&g, &g2);
+}
