@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint, format.
+#
+# Everything runs with --offline against the vendored shims in shims/
+# (rand / proptest / criterion), so no network access is required.
+# Criterion benches are gated behind the `bench-harness` feature and
+# are compile-checked here, not run.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --workspace
+run cargo test --offline --workspace --quiet
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo bench --offline --no-run --features apex-bench/bench-harness -p apex-bench
+run cargo fmt --check
+
+echo "CI OK"

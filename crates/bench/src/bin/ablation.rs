@@ -38,7 +38,11 @@ fn validate_page_model(ex: &Experiment, apex: &apex::Apex) -> (u64, u64) {
     // Real-side: write extents to disk, replay the segment/extent access
     // pattern with genuine reads.
     let mut path = std::env::temp_dir();
-    path.push(format!("apex-validate-{}-{}", ex.dataset.name(), std::process::id()));
+    path.push(format!(
+        "apex-validate-{}-{}",
+        ex.dataset.name(),
+        std::process::id()
+    ));
     let mut store = ExtentStore::create(&path, PageModel::default()).expect("create store");
     let mut ids: HashMap<u32, apex_storage::ExtentId> = HashMap::new();
     for x in apex.graph().reachable(apex.xroot()) {

@@ -20,11 +20,12 @@ fn main() {
         let ex = Experiment::new(d, scale);
 
         let fab = ex.fabric();
-        let stats = run_batch(
-            &FabricProcessor::new(&ex.g, &fab),
-            &ex.queries.qtype3,
-        );
-        let trunc = if fab.truncated { " (truncated keys)" } else { "" };
+        let stats = run_batch(&FabricProcessor::new(&ex.g, &fab), &ex.queries.qtype3);
+        let trunc = if fab.truncated {
+            " (truncated keys)"
+        } else {
+            ""
+        };
         print_row(d.name(), &format!("Fabric{trunc}"), &stats);
 
         let sdg = ex.dataguide();

@@ -14,7 +14,13 @@ fn main() {
     );
     for d in scale.datasets() {
         let g = d.generate();
-        let s = GraphStats::compute(&g, EnumLimits { max_len: 8, max_paths: 50_000 });
+        let s = GraphStats::compute(
+            &g,
+            EnumLimits {
+                max_len: 8,
+                max_paths: 50_000,
+            },
+        );
         println!(
             "{:<18} {:>9} {:>9} {:>7}({:>2}) | {:>9} {:>9} {:>7}({:>2})",
             d.name(),
@@ -35,7 +41,13 @@ fn main() {
     );
     for d in scale.datasets() {
         let g = d.generate();
-        let s = GraphStats::compute(&g, EnumLimits { max_len: 8, max_paths: 50_000 });
+        let s = GraphStats::compute(
+            &g,
+            EnumLimits {
+                max_len: 8,
+                max_paths: 50_000,
+            },
+        );
         println!(
             "{:<18} {:>14} {:>9} {:>9.2} {:>10}",
             d.name(),

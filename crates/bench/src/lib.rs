@@ -125,11 +125,20 @@ impl Experiment {
             qtype3: q3,
             workload_fraction: 0.20,
             seed: 0x5EED ^ d.paper_nodes() as u64,
-            limits: EnumLimits { max_len: 12, max_paths: 100_000 },
+            limits: EnumLimits {
+                max_len: 12,
+                max_paths: 100_000,
+            },
         };
         let queries = QuerySets::generate(&g, &table, cfg);
         let apex0 = Apex::build_initial(&g);
-        Experiment { dataset: d, g, table, queries, apex0 }
+        Experiment {
+            dataset: d,
+            g,
+            table,
+            queries,
+            apex0,
+        }
     }
 
     /// A refined APEX at `min_sup` (from a clone of `APEX⁰`, using the
@@ -166,15 +175,29 @@ impl Experiment {
 /// Prints the standard figure-row header.
 pub fn print_row_header() {
     println!(
-        "{:<18} {:<12} {:>9} {:>12} {:>12} {:>12} {:>10} {:>10}",
-        "dataset", "index", "queries", "pages", "idx-edges", "join-work", "results", "wall-ms"
+        "{:<18} {:<12} {:>9} {:>12} {:>12} {:>12} {:>10} {:>10} {:>7}",
+        "dataset",
+        "index",
+        "queries",
+        "pages",
+        "idx-edges",
+        "join-work",
+        "results",
+        "wall-ms",
+        "buf-hit"
     );
 }
 
-/// Prints one figure row from a batch result.
+/// Prints one figure row from a batch result. The `buf-hit` column is
+/// the cross-query buffer pool's hit rate over the batch (`-` for
+/// processors that do not expose a pool).
 pub fn print_row(dataset: &str, index: &str, stats: &apex_query::BatchStats) {
+    let hit = match &stats.buf {
+        Some(b) => format!("{:.1}%", b.hit_rate() * 100.0),
+        None => "-".to_string(),
+    };
     println!(
-        "{:<18} {:<12} {:>9} {:>12} {:>12} {:>12} {:>10} {:>10.1}",
+        "{:<18} {:<12} {:>9} {:>12} {:>12} {:>12} {:>10} {:>10.1} {:>7}",
         dataset,
         index,
         stats.queries,
@@ -182,6 +205,7 @@ pub fn print_row(dataset: &str, index: &str, stats: &apex_query::BatchStats) {
         stats.cost.index_edges,
         stats.cost.join_work,
         stats.result_nodes,
-        stats.wall.as_secs_f64() * 1e3
+        stats.wall.as_secs_f64() * 1e3,
+        hit
     );
 }

@@ -4,6 +4,7 @@
 //! apex-cli --file data.xml          # load an XML file
 //! apex-cli --dataset Flix01         # or a generated Table 1 dataset
 //! apex-cli --dataset ged --size 200 # or a custom-size family instance
+//! apex-cli --dataset Flix01 --buffer-pages 64   # bounded LRU pool
 //! ```
 //!
 //! Commands inside the shell:
@@ -14,11 +15,17 @@
 //! > tune 0.005                   refine with the recorded workload
 //! > workload                     show the recorded query window
 //! > stats                        index statistics
+//! > buffer                       cross-query buffer-pool state
 //! > required                     current required paths
 //! > labels                       label alphabet
 //! > save out.idx / load out.idx  persist / restore the index
 //! > help, quit
 //! ```
+//!
+//! Queries evaluate through the shared execution layer against one
+//! buffer pool that lives for the whole session, so repeated queries
+//! show buffer hits; `--buffer-pages N` bounds the pool (LRU) instead
+//! of the default unbounded pool.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 
@@ -27,6 +34,7 @@ use apex_query::apex_qp::ApexProcessor;
 use apex_query::batch::QueryProcessor;
 use apex_query::explain::explain_apex;
 use apex_query::Query;
+use apex_storage::bufmgr::BufferHandle;
 use apex_storage::{DataTable, PageModel};
 use xmlgraph::{LabelPath, XmlGraph};
 
@@ -35,13 +43,21 @@ mod repl;
 use repl::{Command, ReplError};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let buffer_pages = match take_buffer_pages(&mut args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let g = match load_graph(&args) {
         Ok(g) => g,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: apex-cli --file <xml> | --dataset <Table1-name|play|flix|ged> [--size N]"
+                "usage: apex-cli --file <xml> | --dataset <Table1-name|play|flix|ged> \
+                 [--size N] [--buffer-pages N]"
             );
             std::process::exit(2);
         }
@@ -57,6 +73,17 @@ fn main() {
     let table = DataTable::build(&g, PageModel::default());
     let mut index = Apex::build_initial(&g);
     let mut monitor = WorkloadMonitor::new(1000, 0.1, RefreshPolicy::Manual);
+    // One buffer pool for the whole session: queries warm it, repeats
+    // hit it. Processors are rebuilt per eval (tune/load swap the
+    // index) but share this pool through cloned handles.
+    let buf = match buffer_pages {
+        Some(pages) => BufferHandle::with_capacity_pages(pages),
+        None => BufferHandle::unbounded(),
+    };
+    match buffer_pages {
+        Some(pages) => println!("buffer pool: {pages} pages (LRU)"),
+        None => println!("buffer pool: unbounded"),
+    }
     println!("APEX0 ready: {:?}", index.stats());
     println!("type `help` for commands");
 
@@ -82,6 +109,19 @@ fn main() {
             Ok(Command::Quit) => break,
             Ok(Command::Help) => println!("{}", repl::HELP),
             Ok(Command::Stats) => println!("{:?}", index.stats()),
+            Ok(Command::Buffer) => {
+                let s = buf.stats();
+                println!("{s}");
+                println!(
+                    "  {} object(s) resident, capacity {}",
+                    buf.objects(),
+                    if buf.capacity_pages() == u64::MAX {
+                        "unbounded".to_string()
+                    } else {
+                        format!("{} page(s)", buf.capacity_pages())
+                    }
+                );
+            }
             Ok(Command::Labels) => {
                 let mut names: Vec<&str> = g.labels().iter().map(|(_, s)| s).collect();
                 names.sort_unstable();
@@ -94,9 +134,11 @@ fn main() {
             }
             Ok(Command::Workload) => {
                 let wl = monitor.workload();
-                println!("{} queries recorded since last tune", monitor.since_refresh());
-                let mut rendered: Vec<String> =
-                    wl.iter().map(|p| p.render(&g)).collect();
+                println!(
+                    "{} queries recorded since last tune",
+                    monitor.since_refresh()
+                );
+                let mut rendered: Vec<String> = wl.iter().map(|p| p.render(&g)).collect();
                 rendered.sort();
                 rendered.dedup();
                 for r in rendered.iter().take(30) {
@@ -108,18 +150,16 @@ fn main() {
                 println!("refined at minSup {min_sup} in {steps} update steps");
                 println!("{:?}", index.stats());
             }
-            Ok(Command::Save(path)) => {
-                match std::fs::File::create(&path) {
-                    Ok(f) => {
-                        let mut w = BufWriter::new(f);
-                        match persist::save(&index, &mut w) {
-                            Ok(()) => println!("saved to {path}"),
-                            Err(e) => println!("save failed: {e}"),
-                        }
+            Ok(Command::Save(path)) => match std::fs::File::create(&path) {
+                Ok(f) => {
+                    let mut w = BufWriter::new(f);
+                    match persist::save(&index, &mut w) {
+                        Ok(()) => println!("saved to {path}"),
+                        Err(e) => println!("save failed: {e}"),
                     }
-                    Err(e) => println!("cannot create {path}: {e}"),
                 }
-            }
+                Err(e) => println!("cannot create {path}: {e}"),
+            },
             Ok(Command::Load(path)) => match std::fs::File::open(&path) {
                 Ok(f) => match persist::load(&mut BufReader::new(f)) {
                     Ok(idx) => {
@@ -131,7 +171,10 @@ fn main() {
                 Err(e) => println!("cannot open {path}: {e}"),
             },
             Ok(Command::Explain(text)) => match Query::parse(&g, &text) {
-                Ok(q) => print!("{}", explain_apex(&index, &q).render(&g, &q)),
+                Ok(q) => print!(
+                    "{}",
+                    explain_apex(&index, &q).render_with_buffer(&g, &q, &buf.stats())
+                ),
                 Err(e) => println!("parse error: {e}"),
             },
             Ok(Command::Eval(text)) => match Query::parse(&g, &text) {
@@ -139,7 +182,8 @@ fn main() {
                     if let Some(labels) = q.labels() {
                         monitor.record(LabelPath::new(labels.to_vec()));
                     }
-                    let qp = ApexProcessor::new(&g, &index, &table);
+                    let before = buf.stats();
+                    let qp = ApexProcessor::with_buffer(&g, &index, &table, buf.clone());
                     let started = std::time::Instant::now();
                     let res = qp.eval(&q);
                     let elapsed = started.elapsed();
@@ -159,12 +203,36 @@ fn main() {
                         elapsed.as_secs_f64() * 1e3,
                         res.cost
                     );
+                    println!("buffer: {}", buf.stats() - before);
+                    let ops = res.cost.ops.render();
+                    if !ops.is_empty() {
+                        print!("{ops}");
+                    }
                 }
                 Err(e) => println!("parse error: {e}"),
             },
         }
     }
     println!("bye");
+}
+
+/// Extracts `--buffer-pages N` from `args` (removing it) so
+/// [`load_graph`] sees only graph-selection flags.
+fn take_buffer_pages(args: &mut Vec<String>) -> Result<Option<u64>, String> {
+    let Some(i) = args.iter().position(|a| a == "--buffer-pages") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("--buffer-pages needs a number".into());
+    }
+    let pages: u64 = args[i + 1]
+        .parse()
+        .map_err(|_| format!("--buffer-pages: not a number: {}", args[i + 1]))?;
+    if pages == 0 {
+        return Err("--buffer-pages must be at least 1".into());
+    }
+    args.drain(i..=i + 1);
+    Ok(Some(pages))
 }
 
 fn load_graph(args: &[String]) -> Result<XmlGraph, String> {
@@ -195,13 +263,15 @@ fn load_graph(args: &[String]) -> Result<XmlGraph, String> {
     // Table 1 names first, then family shorthands.
     for d in datagen::Dataset::all() {
         if d.name().eq_ignore_ascii_case(&name)
-            || d.name().trim_end_matches(".xml").eq_ignore_ascii_case(&name)
+            || d.name()
+                .trim_end_matches(".xml")
+                .eq_ignore_ascii_case(&name)
         {
             return Ok(d.generate());
         }
     }
     match name.to_ascii_lowercase().as_str() {
-        "play" | "shakespeare" => Ok(datagen::shakespeare(size.max(1).min(38), 42)),
+        "play" | "shakespeare" => Ok(datagen::shakespeare(size.clamp(1, 38), 42)),
         "flix" | "flixml" => Ok(datagen::flixml(size.max(30), 42)),
         "ged" | "gedml" => Ok(datagen::gedml(size.max(60), 42)),
         other => Err(format!("unknown dataset `{other}`")),

@@ -13,6 +13,8 @@ pub enum Command {
     Workload,
     /// Show index statistics.
     Stats,
+    /// Show the session buffer pool's state.
+    Buffer,
     /// Show required paths.
     Required,
     /// Show the label alphabet.
@@ -42,6 +44,7 @@ pub const HELP: &str = "\
   explain <query>                        show the plan without executing
   tune <minSup>                          refine with the recorded workload
   workload | stats | required | labels   inspect state
+  buffer                                 cross-query buffer-pool state
   save <path> | load <path>              persist / restore the index
   help | quit";
 
@@ -62,6 +65,7 @@ pub fn parse_command(line: &str) -> Result<Command, ReplError> {
         "quit" | "exit" | "q" => Ok(Command::Quit),
         "help" | "?" => Ok(Command::Help),
         "stats" => Ok(Command::Stats),
+        "buffer" => Ok(Command::Buffer),
         "required" => Ok(Command::Required),
         "labels" => Ok(Command::Labels),
         "workload" => Ok(Command::Workload),
@@ -91,16 +95,29 @@ mod tests {
     #[test]
     fn words_parse() {
         assert_eq!(parse_command("stats"), Ok(Command::Stats));
+        assert_eq!(parse_command("buffer"), Ok(Command::Buffer));
         assert_eq!(parse_command("tune 0.005"), Ok(Command::Tune(0.005)));
-        assert_eq!(parse_command("explain //a//b"), Ok(Command::Explain("//a//b".into())));
-        assert_eq!(parse_command("save /tmp/x.idx"), Ok(Command::Save("/tmp/x.idx".into())));
+        assert_eq!(
+            parse_command("explain //a//b"),
+            Ok(Command::Explain("//a//b".into()))
+        );
+        assert_eq!(
+            parse_command("save /tmp/x.idx"),
+            Ok(Command::Save("/tmp/x.idx".into()))
+        );
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
     }
 
     #[test]
     fn errors() {
         assert_eq!(parse_command("   "), Err(ReplError::Empty));
-        assert!(matches!(parse_command("frobnicate"), Err(ReplError::Unknown(_))));
-        assert!(matches!(parse_command("tune abc"), Err(ReplError::Unknown(_))));
+        assert!(matches!(
+            parse_command("frobnicate"),
+            Err(ReplError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse_command("tune abc"),
+            Err(ReplError::Unknown(_))
+        ));
     }
 }

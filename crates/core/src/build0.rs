@@ -18,9 +18,7 @@ pub fn build_apex0(g: &XmlGraph) -> (GApex, HashTree, XNodeId) {
     let mut ga = GApex::new();
     let mut ht = HashTree::new();
     let xroot = ga.new_node(None);
-    ga.node_mut(xroot)
-        .extent
-        .insert(EdgePair::root(g.root()));
+    ga.node_mut(xroot).extent.insert(EdgePair::root(g.root()));
 
     // Worklist version of Figure 6's exploreAPEX0 recursion: each item is
     // (G_APEX node, edges newly added to its extent). Chaotic iteration of
@@ -63,7 +61,9 @@ pub fn build_apex0(g: &XmlGraph) -> (GApex, HashTree, XNodeId) {
             let delta_new = group.difference(ga.extent(y));
             if !delta_new.is_empty() {
                 let mut scratch = Vec::new();
-                ga.node_mut(y).extent.union_in_place(&delta_new, &mut scratch);
+                ga.node_mut(y)
+                    .extent
+                    .union_in_place(&delta_new, &mut scratch);
                 work.push((y, delta_new));
             }
         }

@@ -24,7 +24,13 @@ pub fn gapex_to_dot(g: &XmlGraph, apex: &Apex) -> String {
     }
     for x in apex.graph().reachable(apex.xroot()) {
         for &(l, t) in apex.out_edges(x) {
-            let _ = writeln!(out, "  x{} -> x{} [label=\"{}\"];", x.0, t.0, g.label_str(l));
+            let _ = writeln!(
+                out,
+                "  x{} -> x{} [label=\"{}\"];",
+                x.0,
+                t.0,
+                g.label_str(l)
+            );
         }
     }
     out.push_str("}\n");
@@ -51,7 +57,9 @@ fn render_hnode(g: &XmlGraph, apex: &Apex, h: HNodeId, depth: usize, out: &mut S
             "  ".repeat(depth),
             g.label_str(label),
             e.count,
-            e.xnode.map(|x| format!(" xnode=&{}", x.0)).unwrap_or_default(),
+            e.xnode
+                .map(|x| format!(" xnode=&{}", x.0))
+                .unwrap_or_default(),
             if e.next.is_some() { " ↓" } else { "" },
         );
         if let Some(next) = e.next {

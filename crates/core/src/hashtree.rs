@@ -111,7 +111,10 @@ impl Default for HashTree {
 impl HashTree {
     /// A tree with an empty `HashHead`.
     pub fn new() -> Self {
-        HashTree { nodes: vec![HNode::default()], head: HNodeId(0) }
+        HashTree {
+            nodes: vec![HNode::default()],
+            head: HNodeId(0),
+        }
     }
 
     /// The root hash node.
@@ -141,7 +144,10 @@ impl HashTree {
     /// load path; node 0 is the head).
     pub fn with_nodes(n: usize) -> Self {
         assert!(n >= 1, "hash tree needs at least the head node");
-        HashTree { nodes: (0..n).map(|_| HNode::default()).collect(), head: HNodeId(0) }
+        HashTree {
+            nodes: (0..n).map(|_| HNode::default()).collect(),
+            head: HNodeId(0),
+        }
     }
 
     /// Sets a node's remainder pointer directly (persistence load path).
@@ -236,7 +242,10 @@ impl HashTree {
         }
         // The whole path matched but longer required paths extend it; the
         // rooted path's own class is the remainder of the deepest node.
-        Some(Located { entry: EntryRef::Remainder(hnode), matched_len: n })
+        Some(Located {
+            entry: EntryRef::Remainder(hnode),
+            matched_len: n,
+        })
     }
 
     /// Collects every `xnode` in the subtree rooted at `h` (labeled
@@ -324,7 +333,10 @@ impl HashTree {
             if fresh {
                 self.nodes[hnode.idx()].entries.insert(
                     label,
-                    Entry { new: true, ..Entry::default() },
+                    Entry {
+                        new: true,
+                        ..Entry::default()
+                    },
                 );
             }
             let next = self.nodes[hnode.idx()].entries[&label].next;
@@ -346,7 +358,10 @@ impl HashTree {
         let e = self.nodes[hnode.idx()]
             .entries
             .entry(label)
-            .or_insert(Entry { new: true, ..Entry::default() });
+            .or_insert(Entry {
+                new: true,
+                ..Entry::default()
+            });
         e.count += 1;
     }
 

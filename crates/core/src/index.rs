@@ -23,6 +23,17 @@ pub struct Lookup {
 /// the hash tree's result type.
 pub type SegmentNodes = QueryNodes;
 
+/// An extent together with its stable storage identity — what the
+/// execution layer's operators take instead of a raw slice, so every
+/// access is attributable to one buffer-pool object.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtentRef<'a> {
+    /// Buffer-pool object id (the class node's arena index).
+    pub id: u64,
+    /// The extent pairs.
+    pub set: &'a EdgeSet,
+}
+
 /// Size of the index as reported in Table 2 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IndexStats {
@@ -83,7 +94,10 @@ impl Apex {
     /// [`Apex::lookup`] with cost accounting.
     pub fn lookup_counted(&self, path: &[LabelId], probes: &mut u64) -> Lookup {
         match self.ht.locate(path, probes) {
-            None => Lookup { xnode: None, matched_len: 0 },
+            None => Lookup {
+                xnode: None,
+                matched_len: 0,
+            },
             Some(loc) => Lookup {
                 xnode: self.ht.xnode_of(loc.entry),
                 matched_len: loc.matched_len,
@@ -101,6 +115,16 @@ impl Apex {
     #[inline]
     pub fn extent(&self, x: XNodeId) -> &EdgeSet {
         self.ga.extent(x)
+    }
+
+    /// Extent of a class node as a storage handle: the edge set plus the
+    /// buffer-pool identity the execution layer charges reads against.
+    #[inline]
+    pub fn extent_ref(&self, x: XNodeId) -> ExtentRef<'_> {
+        ExtentRef {
+            id: x.0 as u64,
+            set: self.ga.extent(x),
+        }
     }
 
     /// Outgoing `G_APEX` edges of a class node.
@@ -174,11 +198,7 @@ mod tests {
     fn figure2() -> (xmlgraph::XmlGraph, Apex) {
         let g = moviedb();
         let mut idx = Apex::build_initial(&g);
-        let wl = Workload::parse(
-            &g,
-            &["director.movie", "@movie.movie", "actor.name"],
-        )
-        .unwrap();
+        let wl = Workload::parse(&g, &["director.movie", "@movie.movie", "actor.name"]).unwrap();
         idx.refine(&g, &wl, 0.1);
         (g, idx)
     }
@@ -321,7 +341,9 @@ mod tests {
             }
         }
         for x in idx.graph().reachable(idx.xroot()) {
-            let Some(inc) = idx.incoming_label(x) else { continue };
+            let Some(inc) = idx.incoming_label(x) else {
+                continue;
+            };
             for &(l2, _) in idx.out_edges(x) {
                 assert!(
                     data_pairs.contains(&(inc, l2)),
@@ -342,7 +364,10 @@ mod tests {
         let wl = Workload::parse(&g, &["title"]).unwrap();
         idx.refine(&g, &wl, 1.0);
         let req = idx.required_paths(&g);
-        assert!(req.iter().all(|p| !p.contains('.')), "only singles: {req:?}");
+        assert!(
+            req.iter().all(|p| !p.contains('.')),
+            "only singles: {req:?}"
+        );
         let s = idx.stats();
         let idx0 = Apex::build_initial(&g);
         let s0 = idx0.stats();

@@ -66,7 +66,7 @@ pub mod validate;
 pub mod workload;
 
 pub use graph::{GApex, XNodeId};
-pub use hashtree::{EntryRef, HashTree, HNodeId};
-pub use index::{Apex, IndexStats, Lookup, SegmentNodes};
+pub use hashtree::{EntryRef, HNodeId, HashTree};
+pub use index::{Apex, ExtentRef, IndexStats, Lookup, SegmentNodes};
 pub use monitor::{RefreshPolicy, WorkloadMonitor};
 pub use workload::Workload;

@@ -111,7 +111,9 @@ impl WorkloadMonitor {
             if !rendered.contains('.') {
                 continue;
             }
-            let Some(path) = LabelPath::parse(g, &rendered) else { continue };
+            let Some(path) = LabelPath::parse(g, &rendered) else {
+                continue;
+            };
             if wl.support(&path) < self.min_sup / slack {
                 return true;
             }
@@ -123,9 +125,7 @@ impl WorkloadMonitor {
                 if sub.len() < 2 {
                     continue;
                 }
-                if wl.support(&sub) >= self.min_sup * slack
-                    && !required.contains(&sub.render(g))
-                {
+                if wl.support(&sub) >= self.min_sup * slack && !required.contains(&sub.render(g)) {
                     return true;
                 }
             }
@@ -224,7 +224,10 @@ mod tests {
         for _ in 0..10 {
             m.record(path(&g, "title"));
         }
-        assert!(m.refresh_due(&g, &idx), "decayed required path must trigger");
+        assert!(
+            m.refresh_due(&g, &idx),
+            "decayed required path must trigger"
+        );
         m.refresh(&g, &mut idx);
         assert!(!idx.required_paths(&g).contains(&"actor.name".to_string()));
     }

@@ -28,7 +28,7 @@ use apex_storage::{EdgePair, EdgeSet};
 use xmlgraph::{LabelId, NodeId, NULL_NODE};
 
 use crate::graph::{GApex, XNodeId};
-use crate::hashtree::{Entry, HashTree, HNodeId};
+use crate::hashtree::{Entry, HNodeId, HashTree};
 use crate::index::Apex;
 
 const MAGIC: &[u8; 8] = b"APEXIDX1";
@@ -141,7 +141,10 @@ impl From<HNodeId> for u32 {
 
 /// Serializes `apex` to `w`.
 pub fn save<W: Write>(apex: &Apex, w: &mut W) -> io::Result<()> {
-    let mut s = Sink { w, hash: Fnv::new() };
+    let mut s = Sink {
+        w,
+        hash: Fnv::new(),
+    };
     s.bytes(MAGIC)?;
     s.u32(apex.xroot().0)?;
 
@@ -189,7 +192,10 @@ pub fn save<W: Write>(apex: &Apex, w: &mut W) -> io::Result<()> {
 
 /// Deserializes an index from `r`.
 pub fn load<R: Read>(r: &mut R) -> Result<Apex, PersistError> {
-    let mut s = Source { r, hash: Fnv::new() };
+    let mut s = Source {
+        r,
+        hash: Fnv::new(),
+    };
     let mut magic = [0u8; 8];
     s.bytes(&mut magic)?;
     if &magic != MAGIC {
@@ -216,7 +222,11 @@ pub fn load<R: Read>(r: &mut R) -> Result<Apex, PersistError> {
             let parent = s.u32()?;
             let node = s.u32()?;
             pairs.push(EdgePair::new(
-                if parent == u32::MAX { NULL_NODE } else { NodeId(parent) },
+                if parent == u32::MAX {
+                    NULL_NODE
+                } else {
+                    NodeId(parent)
+                },
                 NodeId(node),
             ));
         }
@@ -270,7 +280,16 @@ pub fn load<R: Read>(r: &mut R) -> Result<Apex, PersistError> {
                     Some(h)
                 }
             };
-            ht.insert_entry_raw(HNodeId(i), label, Entry { count, new, xnode, next });
+            ht.insert_entry_raw(
+                HNodeId(i),
+                label,
+                Entry {
+                    count,
+                    new,
+                    xnode,
+                    next,
+                },
+            );
         }
     }
 
@@ -294,8 +313,7 @@ mod tests {
     fn sample() -> (xmlgraph::XmlGraph, Apex) {
         let g = moviedb();
         let mut idx = Apex::build_initial(&g);
-        let wl =
-            Workload::parse(&g, &["actor.name", "director.movie", "@movie.movie"]).unwrap();
+        let wl = Workload::parse(&g, &["actor.name", "director.movie", "@movie.movie"]).unwrap();
         idx.refine(&g, &wl, 0.1);
         (g, idx)
     }
@@ -309,7 +327,13 @@ mod tests {
 
         assert_eq!(idx.stats(), loaded.stats());
         assert_eq!(idx.required_paths(&g), loaded.required_paths(&g));
-        for p in ["actor.name", "director.movie", "name", "movie.title", "title"] {
+        for p in [
+            "actor.name",
+            "director.movie",
+            "name",
+            "movie.title",
+            "title",
+        ] {
             let path = LabelPath::parse(&g, p).unwrap();
             let a = idx.lookup(path.labels());
             let b = loaded.lookup(path.labels());
@@ -337,7 +361,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut buf = b"NOTANIDX".to_vec();
         buf.extend_from_slice(&[0u8; 64]);
-        assert!(matches!(load(&mut buf.as_slice()), Err(PersistError::BadMagic)));
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(PersistError::BadMagic)
+        ));
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl RollingPath {
 
     fn extended(&self, l: LabelId, cap: usize) -> Self {
         let mut labels = Vec::with_capacity(self.labels.len().min(cap) + 1);
-        let start = if self.labels.len() >= cap { self.labels.len() + 1 - cap } else { 0 };
+        let start = if self.labels.len() >= cap {
+            self.labels.len() + 1 - cap
+        } else {
+            0
+        };
         labels.extend_from_slice(&self.labels[start..]);
         labels.push(l);
         RollingPath { labels }
@@ -105,15 +109,13 @@ pub fn update_apex(g: &XmlGraph, ga: &mut GApex, ht: &mut HashTree, xroot: XNode
                         work.push((end, EdgeSet::new(), newpath));
                     }
                     other => {
-                        let xchild =
-                            other.unwrap_or_else(|| ga.new_node(Some(label)));
+                        let xchild = other.unwrap_or_else(|| ga.new_node(Some(label)));
                         // Recompute this child's slice of the extent from
                         // G_XML (lazily, once per verification pass).
-                        let groups = groups
-                            .get_or_insert_with(|| group_out_edges(g, ga.extent(xnode)));
-                        let sub = EdgeSet::from_pairs(
-                            groups.get(&label).cloned().unwrap_or_default(),
-                        );
+                        let groups =
+                            groups.get_or_insert_with(|| group_out_edges(g, ga.extent(xnode)));
+                        let sub =
+                            EdgeSet::from_pairs(groups.get(&label).cloned().unwrap_or_default());
                         let dnew = sub.difference(ga.extent(xchild));
                         ga.node_mut(xchild)
                             .extent

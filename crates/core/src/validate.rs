@@ -83,7 +83,9 @@ fn check_phantom_paths(g: &XmlGraph, apex: &Apex, out: &mut Violations) {
         }
     }
     for x in apex.graph().reachable(apex.xroot()) {
-        let Some(inc) = apex.incoming_label(x) else { continue };
+        let Some(inc) = apex.incoming_label(x) else {
+            continue;
+        };
         for &(l2, _) in apex.out_edges(x) {
             if !data_pairs.contains(&(inc, l2)) {
                 out.push(format!(
@@ -98,7 +100,9 @@ fn check_phantom_paths(g: &XmlGraph, apex: &Apex, out: &mut Violations) {
 
 fn check_extent_labels(g: &XmlGraph, apex: &Apex, out: &mut Violations) {
     let edge_exists = |from: xmlgraph::NodeId, label: LabelId, to: xmlgraph::NodeId| {
-        g.out_edges(from).iter().any(|e| e.label == label && e.to == to)
+        g.out_edges(from)
+            .iter()
+            .any(|e| e.label == label && e.to == to)
     };
     for x in apex.graph().reachable(apex.xroot()) {
         let Some(inc) = apex.incoming_label(x) else {
@@ -224,9 +228,10 @@ mod tests {
         {
             let ga = tampered.graph_mut_for_tests();
             let x = XNodeId(1);
-            ga.node_mut(x)
-                .extent
-                .insert(apex_storage::EdgePair::new(xmlgraph::NodeId(0), xmlgraph::NodeId(0)));
+            ga.node_mut(x).extent.insert(apex_storage::EdgePair::new(
+                xmlgraph::NodeId(0),
+                xmlgraph::NodeId(0),
+            ));
         }
         let v = check(&g, &tampered);
         assert!(!v.is_empty(), "validator must flag the bogus pair");

@@ -70,11 +70,7 @@ mod tests {
     #[test]
     fn support_counts_subpath_queries() {
         let g = moviedb();
-        let wl = Workload::parse(
-            &g,
-            &["actor.name", "movie.actor.name", "movie.title"],
-        )
-        .unwrap();
+        let wl = Workload::parse(&g, &["actor.name", "movie.actor.name", "movie.title"]).unwrap();
         let an = LabelPath::parse(&g, "actor.name").unwrap();
         assert!((wl.support(&an) - 2.0 / 3.0).abs() < 1e-9);
         let t = LabelPath::parse(&g, "title").unwrap();

@@ -1,6 +1,9 @@
 fn main() {
     for d in datagen::Dataset::all() {
-        let big = matches!(d, datagen::Dataset::ShakesAll | datagen::Dataset::Flix03 | datagen::Dataset::Ged03);
+        let big = matches!(
+            d,
+            datagen::Dataset::ShakesAll | datagen::Dataset::Flix03 | datagen::Dataset::Ged03
+        );
         if big && std::env::args().nth(1).as_deref() != Some("--all") {
             continue;
         }

@@ -6,7 +6,13 @@ fn main() {
     ] {
         let t = std::time::Instant::now();
         let f = fabric::IndexFabric::build(&g);
-        println!("{name}: keys={} trie_nodes={} blocks={} truncated={} ({:?})",
-            f.key_count(), f.trie_nodes(), f.block_count(), f.truncated, t.elapsed());
+        println!(
+            "{name}: keys={} trie_nodes={} blocks={} truncated={} ({:?})",
+            f.key_count(),
+            f.trie_nodes(),
+            f.block_count(),
+            f.truncated,
+            t.elapsed()
+        );
     }
 }

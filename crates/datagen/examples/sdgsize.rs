@@ -6,8 +6,13 @@ fn main() {
     ] {
         let t = std::time::Instant::now();
         match dataguide::DataGuide::build_bounded(&g, 5_000_000) {
-            Some(dg) => println!("{name}: data {} nodes -> SDG {} nodes / {} edges ({:?})",
-                g.node_count(), dg.node_count(), dg.edge_count(), t.elapsed()),
+            Some(dg) => println!(
+                "{name}: data {} nodes -> SDG {} nodes / {} edges ({:?})",
+                g.node_count(),
+                dg.node_count(),
+                dg.edge_count(),
+                t.elapsed()
+            ),
             None => println!("{name}: SDG exceeded limit"),
         }
     }

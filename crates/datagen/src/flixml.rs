@@ -75,7 +75,11 @@ fn gen_review(
         b.add_value_child(genre, "othergenre", names::pick(rng, names::GENRES));
     }
     b.add_value_child(review, "releaseyear", &names::year(rng));
-    b.add_value_child(review, "mpaarating", if rng.gen_bool(0.5) { "PG" } else { "R" });
+    b.add_value_child(
+        review,
+        "mpaarating",
+        if rng.gen_bool(0.5) { "PG" } else { "R" },
+    );
     b.add_value_child(review, "bees", &format!("{}", rng.gen_range(1..6)));
     b.add_value_child(review, "runtime", &format!("{}", rng.gen_range(58..131)));
     b.add_value_child(review, "studio", "Monarch Pictures");
@@ -143,7 +147,11 @@ fn gen_review(
     // Technical block.
     let video = b.add_child(review, "video");
     b.add_value_child(video, "videoformat", "VHS");
-    b.add_value_child(video, "color", if rng.gen_bool(0.6) { "BW" } else { "color" });
+    b.add_value_child(
+        video,
+        "color",
+        if rng.gen_bool(0.6) { "BW" } else { "color" },
+    );
     if force || rng.gen_bool(0.3) {
         b.add_value_child(video, "widescreen", "no");
         b.add_value_child(video, "transfer", "grainy");
@@ -207,8 +215,16 @@ fn gen_review(
         let song = b.add_child(st, "song");
         b.add_value_child(song, "songtitle", &names::title(rng));
         b.add_value_child(song, "artist", &names::person(rng));
-        b.add_value_child(review, "budget", &format!("{}", rng.gen_range(10..900) * 1000));
-        b.add_value_child(review, "boxoffice", &format!("{}", rng.gen_range(10..900) * 1000));
+        b.add_value_child(
+            review,
+            "budget",
+            &format!("{}", rng.gen_range(10..900) * 1000),
+        );
+        b.add_value_child(
+            review,
+            "boxoffice",
+            &format!("{}", rng.gen_range(10..900) * 1000),
+        );
     }
     review
 }
@@ -220,8 +236,7 @@ mod tests {
     #[test]
     fn idref_labels_are_three() {
         let g = flixml(60, 5);
-        let mut names: Vec<&str> =
-            g.idref_labels().iter().map(|l| g.label_str(*l)).collect();
+        let mut names: Vec<&str> = g.idref_labels().iter().map(|l| g.label_str(*l)).collect();
         names.sort_unstable();
         assert_eq!(names, vec!["@related", "@remakeof", "@sequel"]);
     }

@@ -148,8 +148,20 @@ pub fn gedml(individuals: usize, seed: u64) -> XmlGraph {
     // Individuals.
     let mut indis: Vec<NodeId> = Vec::with_capacity(individuals);
     for (i, fams) in fams_map.iter().enumerate() {
-        let indi = gen_indi(&mut b, root, &mut rng, i, tier, individuals, families,
-            n_sours, n_notes, n_objes, n_repos, fams);
+        let indi = gen_indi(
+            &mut b,
+            root,
+            &mut rng,
+            i,
+            tier,
+            individuals,
+            families,
+            n_sours,
+            n_notes,
+            n_objes,
+            n_repos,
+            fams,
+        );
         b.register_id(indi, &format!("I{i}")).expect("unique");
         indis.push(indi);
     }
@@ -362,7 +374,11 @@ fn gen_indi(
             b.add_value_child(cens, "date", &names::date(rng));
         }
         if force || rng.gen_bool(0.03) {
-            b.add_value_child(indi, "ssn", &format!("{:09}", rng.gen_range(0..999999999u32)));
+            b.add_value_child(
+                indi,
+                "ssn",
+                &format!("{:09}", rng.gen_range(0..999999999u32)),
+            );
         }
         if force || rng.gen_bool(0.03) {
             b.add_value_child(indi, "prop", "two oxen");
@@ -374,7 +390,11 @@ fn gen_indi(
     // real GEDCOM exports, and what bounds ancestry walks for the
     // DataGuide's subset construction.
     if gen_of(no, individuals) > 0 {
-        b.add_idref(indi, "famc", &format!("F{}", famc_of(no, individuals, families)));
+        b.add_idref(
+            indi,
+            "famc",
+            &format!("F{}", famc_of(no, individuals, families)),
+        );
     }
     if !fams.is_empty() {
         let f = fams[rng.gen_range(0..fams.len())];

@@ -59,7 +59,17 @@ impl Dataset {
     /// All nine, in Table 1 order.
     pub fn all() -> [Dataset; 9] {
         use Dataset::*;
-        [FourTragedy, Shakes11, ShakesAll, Flix01, Flix02, Flix03, Ged01, Ged02, Ged03]
+        [
+            FourTragedy,
+            Shakes11,
+            ShakesAll,
+            Flix01,
+            Flix02,
+            Flix03,
+            Ged01,
+            Ged02,
+            Ged03,
+        ]
     }
 
     /// The paper's file name for the dataset.
@@ -138,7 +148,10 @@ impl Dataset {
 
     /// True for the tree-structured Shakespeare family.
     pub fn is_tree(self) -> bool {
-        matches!(self, Dataset::FourTragedy | Dataset::Shakes11 | Dataset::ShakesAll)
+        matches!(
+            self,
+            Dataset::FourTragedy | Dataset::Shakes11 | Dataset::ShakesAll
+        )
     }
 
     /// Generates the dataset (deterministic; seeds are fixed per dataset).
@@ -188,7 +201,12 @@ mod tests {
                 g.edge_count(),
                 d.paper_edges()
             );
-            assert_eq!(g.idref_labels().len(), d.paper_idref_labels(), "{}", d.name());
+            assert_eq!(
+                g.idref_labels().len(),
+                d.paper_idref_labels(),
+                "{}",
+                d.name()
+            );
         }
     }
 
@@ -230,7 +248,10 @@ mod tests {
     #[test]
     fn irregularity_gradient_play_flix_ged() {
         // Distinct rooted paths per node must grow Play < Flix < Ged.
-        let limits = EnumLimits { max_len: 8, max_paths: 50_000 };
+        let limits = EnumLimits {
+            max_len: 8,
+            max_paths: 50_000,
+        };
         let play = GraphStats::compute(&Dataset::FourTragedy.generate(), limits);
         let flix = GraphStats::compute(&Dataset::Flix01.generate(), limits);
         let ged = GraphStats::compute(&Dataset::Ged01.generate(), limits);

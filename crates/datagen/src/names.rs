@@ -5,21 +5,52 @@ use rand::Rng;
 
 /// First names for personae / individuals.
 pub const FIRST_NAMES: &[&str] = &[
-    "Edmund", "Cordelia", "Horatio", "Ophelia", "Duncan", "Banquo", "Emilia", "Cassio",
-    "Regan", "Goneril", "Lennox", "Rosse", "Angus", "Fleance", "Seyton", "Osric",
-    "Marcellus", "Bernardo", "Francisco", "Reynaldo", "Lucianus", "Voltemand",
+    "Edmund",
+    "Cordelia",
+    "Horatio",
+    "Ophelia",
+    "Duncan",
+    "Banquo",
+    "Emilia",
+    "Cassio",
+    "Regan",
+    "Goneril",
+    "Lennox",
+    "Rosse",
+    "Angus",
+    "Fleance",
+    "Seyton",
+    "Osric",
+    "Marcellus",
+    "Bernardo",
+    "Francisco",
+    "Reynaldo",
+    "Lucianus",
+    "Voltemand",
 ];
 
 /// Family names.
 pub const LAST_NAMES: &[&str] = &[
-    "Montague", "Capulet", "Lennox", "Macduff", "Hastings", "Stanley", "Brakenbury",
-    "Tyrrel", "Vaughan", "Blunt", "Herbert", "Oxford", "Surrey", "Norfolk",
+    "Montague",
+    "Capulet",
+    "Lennox",
+    "Macduff",
+    "Hastings",
+    "Stanley",
+    "Brakenbury",
+    "Tyrrel",
+    "Vaughan",
+    "Blunt",
+    "Herbert",
+    "Oxford",
+    "Surrey",
+    "Norfolk",
 ];
 
 /// Movie-ish title words.
 pub const TITLE_WORDS: &[&str] = &[
-    "Attack", "Return", "Revenge", "Night", "Curse", "Planet", "Brain", "Swamp",
-    "Creature", "Phantom", "Zombie", "Robot", "Saucer", "Doom", "Laser", "Mutant",
+    "Attack", "Return", "Revenge", "Night", "Curse", "Planet", "Brain", "Swamp", "Creature",
+    "Phantom", "Zombie", "Robot", "Saucer", "Doom", "Laser", "Mutant",
 ];
 
 /// Genres for FlixML.
@@ -29,8 +60,16 @@ pub const GENRES: &[&str] = &[
 
 /// Place names for GedML.
 pub const PLACES: &[&str] = &[
-    "Springfield", "Riverton", "Milltown", "Ashford", "Brookside", "Eastham",
-    "Fairview", "Granton", "Hillcrest", "Kingsport",
+    "Springfield",
+    "Riverton",
+    "Milltown",
+    "Ashford",
+    "Brookside",
+    "Eastham",
+    "Fairview",
+    "Granton",
+    "Hillcrest",
+    "Kingsport",
 ];
 
 /// Picks one item.
@@ -40,7 +79,11 @@ pub fn pick<'a>(rng: &mut SmallRng, pool: &[&'a str]) -> &'a str {
 
 /// A two-word title.
 pub fn title(rng: &mut SmallRng) -> String {
-    format!("{} of the {}", pick(rng, TITLE_WORDS), pick(rng, TITLE_WORDS))
+    format!(
+        "{} of the {}",
+        pick(rng, TITLE_WORDS),
+        pick(rng, TITLE_WORDS)
+    )
 }
 
 /// A "First Last" person name.
@@ -52,8 +95,12 @@ pub fn person(rng: &mut SmallRng) -> String {
 pub fn verse(rng: &mut SmallRng) -> String {
     const OPEN: &[&str] = &["O", "But", "And", "Thus", "Yet", "Now", "Hark"];
     const MID: &[&str] = &[
-        "the night doth", "my lord shall", "the crown will", "sweet sorrow may",
-        "the tempest must", "yon stars do",
+        "the night doth",
+        "my lord shall",
+        "the crown will",
+        "sweet sorrow may",
+        "the tempest must",
+        "yon stars do",
     ];
     const END: &[&str] = &["fall", "rise", "weep", "speak", "burn", "fade", "sing"];
     format!("{} {} {}", pick(rng, OPEN), pick(rng, MID), pick(rng, END))
@@ -66,11 +113,13 @@ pub fn year(rng: &mut SmallRng) -> String {
 
 /// A GEDCOM-ish date.
 pub fn date(rng: &mut SmallRng) -> String {
-    const MONTHS: &[&str] = &["JAN", "FEB", "MAR", "APR", "MAY", "JUN", "JUL", "AUG", "SEP", "OCT", "NOV", "DEC"];
+    const MONTHS: &[&str] = &[
+        "JAN", "FEB", "MAR", "APR", "MAY", "JUN", "JUL", "AUG", "SEP", "OCT", "NOV", "DEC",
+    ];
     format!(
         "{} {} {}",
         rng.gen_range(1..29),
-        MONTHS[rng.gen_range(0..12)],
+        MONTHS[rng.gen_range(0..12usize)],
         1700 + rng.gen_range(0..250)
     )
 }

@@ -31,8 +31,8 @@ pub fn shakespeare_scaled(plays: usize, seed: u64, scale: f64) -> XmlGraph {
 fn gen_play(b: &mut GraphBuilder, root: NodeId, rng: &mut SmallRng, play_no: usize, scale: f64) {
     let rare = play_no >= 4; // PROLOGUE/EPILOGUE/INDUCT/SUBTITLE
     let very_rare = play_no >= 19; // SONG
-    // The first play of each tier uses every tier feature, so the label
-    // alphabet matches Table 1 exactly regardless of the seed.
+                                   // The first play of each tier uses every tier feature, so the label
+                                   // alphabet matches Table 1 exactly regardless of the seed.
     let force = play_no == 4;
 
     let play = b.add_child(root, "PLAY");
@@ -130,8 +130,12 @@ mod tests {
     #[test]
     fn four_plays_have_17_labels() {
         let g = shakespeare(4, 1);
-        assert_eq!(g.label_count(), 17, "labels: {:?}",
-            g.labels().iter().map(|(_, s)| s).collect::<Vec<_>>());
+        assert_eq!(
+            g.label_count(),
+            17,
+            "labels: {:?}",
+            g.labels().iter().map(|(_, s)| s).collect::<Vec<_>>()
+        );
     }
 
     #[test]

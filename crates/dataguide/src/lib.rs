@@ -66,7 +66,10 @@ impl DataGuide {
         let mut edge_count = 0usize;
 
         let root_set = vec![g.root()];
-        nodes.push(DgNode { extent: root_set.clone(), edges: Vec::new() });
+        nodes.push(DgNode {
+            extent: root_set.clone(),
+            edges: Vec::new(),
+        });
         let root = DgNodeId(0);
         interned.insert(root_set, root);
 
@@ -93,7 +96,10 @@ impl DataGuide {
                             return None;
                         }
                         let id = DgNodeId(nodes.len() as u32);
-                        nodes.push(DgNode { extent: targets.clone(), edges: Vec::new() });
+                        nodes.push(DgNode {
+                            extent: targets.clone(),
+                            edges: Vec::new(),
+                        });
                         interned.insert(targets, id);
                         work.push(id);
                         id
@@ -103,7 +109,11 @@ impl DataGuide {
                 edge_count += 1;
             }
         }
-        Some(DataGuide { nodes, root, edge_count })
+        Some(DataGuide {
+            nodes,
+            root,
+            edge_count,
+        })
     }
 
     /// The root guide node (target set `{root}`).
@@ -184,7 +194,12 @@ mod tests {
     fn eval_rooted_matches_direct_eval() {
         let g = moviedb();
         let dg = DataGuide::build(&g);
-        for p in ["movie.title", "director.movie.title", "actor.name", "director.name"] {
+        for p in [
+            "movie.title",
+            "director.movie.title",
+            "actor.name",
+            "director.name",
+        ] {
             let path = LabelPath::parse(&g, p).unwrap();
             let expect = xmlgraph::paths::eval_rooted(&g, &path);
             assert_eq!(dg.eval_rooted(path.labels()), expect.as_slice(), "path {p}");
@@ -196,8 +211,7 @@ mod tests {
         let g = moviedb();
         let dg = DataGuide::build(&g);
         for id in dg.ids() {
-            let mut labels: Vec<LabelId> =
-                dg.node(id).edges.iter().map(|(l, _)| *l).collect();
+            let mut labels: Vec<LabelId> = dg.node(id).edges.iter().map(|(l, _)| *l).collect();
             let before = labels.len();
             labels.sort_unstable();
             labels.dedup();

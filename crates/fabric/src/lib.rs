@@ -38,7 +38,11 @@ pub struct FabricLimits {
 
 impl Default for FabricLimits {
     fn default() -> Self {
-        FabricLimits { max_path_len: 12, max_paths_per_node: 4096, max_keys: 2_000_000 }
+        FabricLimits {
+            max_path_len: 12,
+            max_paths_per_node: 4096,
+            max_keys: 2_000_000,
+        }
     }
 }
 
@@ -129,7 +133,11 @@ impl IndexFabric {
         }
 
         trie.assign_blocks(apex_storage::pages::DEFAULT_PAGE_SIZE);
-        IndexFabric { trie, keys, truncated }
+        IndexFabric {
+            trie,
+            keys,
+            truncated,
+        }
     }
 
     /// Number of keys stored.
@@ -166,6 +174,45 @@ impl IndexFabric {
     pub fn search_partial(&self, suffix: &[LabelId], value: &str, cost: &mut Cost) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = Vec::new();
         self.trie.traverse_all(cost, |payload| {
+            let (path, node, v) = &self.keys[payload as usize];
+            if path.len() >= suffix.len() && path.ends_with(suffix) && v.as_ref() == value {
+                out.push(*node);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// [`IndexFabric::search_exact`] through a shared buffer pool.
+    pub fn search_exact_buffered(
+        &self,
+        buf: &apex_storage::BufferHandle,
+        path: &[LabelId],
+        value: &str,
+        cost: &mut Cost,
+    ) -> Vec<NodeId> {
+        let mut key = Vec::with_capacity(path.len() * 2 + 2 + value.len());
+        encode_key(path, value, &mut key);
+        let payloads = self.trie.lookup_buffered(buf, &key, cost);
+        let mut out: Vec<NodeId> = payloads.iter().map(|&p| self.keys[p as usize].1).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// [`IndexFabric::search_partial`] through a shared buffer pool:
+    /// the traversal still visits every trie node, but blocks resident
+    /// from earlier queries are buffer hits instead of page reads.
+    pub fn search_partial_buffered(
+        &self,
+        buf: &apex_storage::BufferHandle,
+        suffix: &[LabelId],
+        value: &str,
+        cost: &mut Cost,
+    ) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        self.trie.traverse_all_buffered(buf, cost, |payload| {
             let (path, node, v) = &self.keys[payload as usize];
             if path.len() >= suffix.len() && path.ends_with(suffix) && v.as_ref() == value {
                 out.push(*node);

@@ -1,6 +1,7 @@
 //! A path-compressed byte trie (Patricia-style radix tree) with DFS block
 //! packing and block-read accounting.
 
+use apex_storage::bufmgr::{BufferHandle, ObjectId, Space};
 use apex_storage::Cost;
 
 /// One trie node: a compressed byte prefix on its incoming edge, children
@@ -23,7 +24,10 @@ pub struct Trie {
 impl Trie {
     /// Empty trie with a root node.
     pub fn new() -> Self {
-        Trie { nodes: vec![TrieNode::default()], blocks: 0 }
+        Trie {
+            nodes: vec![TrieNode::default()],
+            blocks: 0,
+        }
     }
 
     /// Node count (including the root).
@@ -90,7 +94,10 @@ impl Trie {
 
     fn alloc(&mut self, prefix: Vec<u8>) -> u32 {
         let id = self.nodes.len() as u32;
-        self.nodes.push(TrieNode { prefix, ..TrieNode::default() });
+        self.nodes.push(TrieNode {
+            prefix,
+            ..TrieNode::default()
+        });
         id
     }
 
@@ -119,6 +126,56 @@ impl Trie {
                     rest = &rest[prefix.len()..];
                     node = c;
                 }
+            }
+        }
+    }
+
+    /// [`Trie::lookup`] through a shared buffer pool: blocks along the
+    /// descent are charged only when absent from the pool, so repeated
+    /// searches of a hot key region become buffer hits.
+    pub fn lookup_buffered(&self, buf: &BufferHandle, key: &[u8], cost: &mut Cost) -> &[u32] {
+        let mut node = 0u32;
+        let mut rest = key;
+        let mut last_block = u32::MAX;
+        loop {
+            cost.trie_nodes += 1;
+            let blk = self.nodes[node as usize].block;
+            if blk != last_block {
+                cost.pages_read += buf.touch(ObjectId::new(Space::TrieBlock, blk as u64), 0);
+                last_block = blk;
+            }
+            if rest.is_empty() {
+                return &self.nodes[node as usize].payloads;
+            }
+            match self.child(node, rest[0]) {
+                None => return &[],
+                Some(c) => {
+                    let prefix = &self.nodes[c as usize].prefix;
+                    if rest.len() < prefix.len() || &rest[..prefix.len()] != prefix.as_slice() {
+                        return &[];
+                    }
+                    rest = &rest[prefix.len()..];
+                    node = c;
+                }
+            }
+        }
+    }
+
+    /// [`Trie::traverse_all`] through a shared buffer pool: each block
+    /// is charged only when absent from the pool.
+    pub fn traverse_all_buffered(
+        &self,
+        buf: &BufferHandle,
+        cost: &mut Cost,
+        mut visit: impl FnMut(u32),
+    ) {
+        cost.trie_nodes += self.nodes.len() as u64;
+        for b in 0..self.blocks.max(1) as u64 {
+            cost.pages_read += buf.touch(ObjectId::new(Space::TrieBlock, b), 0);
+        }
+        for n in &self.nodes {
+            for &p in &n.payloads {
+                visit(p);
             }
         }
     }

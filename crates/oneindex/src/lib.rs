@@ -73,8 +73,7 @@ impl OneIndex {
                 if v == g.root() {
                     continue;
                 }
-                let mut labels: Vec<LabelId> =
-                    incoming[v.idx()].iter().map(|(l, _)| *l).collect();
+                let mut labels: Vec<LabelId> = incoming[v.idx()].iter().map(|(l, _)| *l).collect();
                 labels.sort_unstable();
                 labels.dedup();
                 let id = *seed.entry(labels).or_insert_with(|| {
@@ -116,7 +115,10 @@ impl OneIndex {
 
         // Materialize blocks and quotient edges.
         let mut blocks: Vec<Block> = (0..next_block)
-            .map(|_| Block { extent: Vec::new(), edges: Vec::new() })
+            .map(|_| Block {
+                extent: Vec::new(),
+                edges: Vec::new(),
+            })
             .collect();
         for v in g.nodes() {
             blocks[block_of[v.idx()] as usize].extent.push(v);
@@ -138,7 +140,12 @@ impl OneIndex {
         }
         let root = BlockId(block_of[g.root().idx()]);
         let node_block = block_of.into_iter().map(BlockId).collect();
-        OneIndex { blocks, root, edge_count, node_block }
+        OneIndex {
+            blocks,
+            root,
+            edge_count,
+            node_block,
+        }
     }
 
     /// The block containing the data root.

@@ -13,58 +13,63 @@
 //!   edges (equivalent to enumerating the rewritten label paths and
 //!   joining per path, but terminates on cyclic class graphs).
 //! * **QTYPE3** — QTYPE1 followed by data-table probes.
+//!
+//! All physical work — extent I/O, unions, semijoins, table probes —
+//! runs through the shared operators in [`crate::exec`] over a
+//! cross-query [`BufferHandle`] pool.
 
 use std::collections::HashMap;
 
 use apex::{Apex, XNodeId};
-use apex_storage::pages::PageCache;
-use apex_storage::{Cost, DataTable, EdgeSet, PageModel};
+use apex_storage::bufmgr::{BufferHandle, Space};
+use apex_storage::{DataTable, EdgeSet};
 use xmlgraph::{LabelId, NodeId, XmlGraph};
 
 use crate::ast::Query;
 use crate::batch::{QueryOutput, QueryProcessor};
+use crate::exec::{self, DataProbe, ExecContext, ExtentScan, IndexNav, MultiwayJoin};
 
 /// Query processor over an [`Apex`] index.
 pub struct ApexProcessor<'a> {
     g: &'a XmlGraph,
     apex: &'a Apex,
     table: &'a DataTable,
-    pages: PageModel,
+    buf: BufferHandle,
+    /// Page-packed byte offsets of `G_APEX` node records (16 bytes
+    /// header + 8 per edge): node `x` occupies
+    /// `node_offsets[x]..node_offsets[x+1]` of [`Space::ApexNode`].
+    node_offsets: Vec<u64>,
 }
 
 impl<'a> ApexProcessor<'a> {
-    /// Creates a processor.
+    /// Creates a processor with a private (unbounded) buffer pool.
     pub fn new(g: &'a XmlGraph, apex: &'a Apex, table: &'a DataTable) -> Self {
-        ApexProcessor { g, apex, table, pages: PageModel::default() }
+        Self::with_buffer(g, apex, table, BufferHandle::unbounded())
     }
 
-    /// Charges the first touch of class node `x`'s extent in this query.
-    fn touch_extent(&self, x: XNodeId, cache: &mut PageCache, cost: &mut Cost) {
-        let e = self.apex.extent(x);
-        cost.extent_pairs += e.len() as u64;
-        cache.charge_once(cost, x.0 as u64, e.len() * 8, &self.pages);
+    /// Creates a processor charging against a shared buffer pool.
+    pub fn with_buffer(
+        g: &'a XmlGraph,
+        apex: &'a Apex,
+        table: &'a DataTable,
+        buf: BufferHandle,
+    ) -> Self {
+        let node_offsets = exec::record_layout(
+            (0..apex.graph().allocated()).map(|i| 16 + 8 * apex.out_edges(XNodeId(i as u32)).len()),
+        );
+        ApexProcessor {
+            g,
+            apex,
+            table,
+            buf,
+            node_offsets,
+        }
     }
 
-    /// Adaptive semijoin of an extent against sorted delta end nodes:
-    /// indexed range probes when the delta is much smaller than the
-    /// extent (clustered-index access path), linear merge otherwise.
-    fn semijoin(
-        &self,
-        ends: &[xmlgraph::NodeId],
-        x: XNodeId,
-        cache: &mut PageCache,
-        cost: &mut Cost,
-    ) -> EdgeSet {
-        let extent = self.apex.extent(x);
-        self.touch_extent(x, cache, cost);
-        let (hit, work) = if ends.len() * 8 < extent.len() {
-            extent.probe_by_parents(ends)
-        } else {
-            extent.semijoin_ends(ends)
-        };
-        cost.join_work += work as u64;
-        cost.join_output += hit.len() as u64;
-        hit
+    /// `(buffer id, extent)` source for class node `x`.
+    fn source(&self, x: XNodeId) -> (u64, &'a EdgeSet) {
+        let r = self.apex.extent_ref(x);
+        (r.id, r.set)
     }
 
     /// QTYPE1 evaluation returning the final edge set.
@@ -73,12 +78,7 @@ impl<'a> ApexProcessor<'a> {
     /// segment is accessed through indexed probes (extents are clustered
     /// by parent nid), so join cost scales with the data that actually
     /// flows, not with extent sizes.
-    fn eval_path_edges(
-        &self,
-        labels: &[LabelId],
-        cache: &mut PageCache,
-        cost: &mut Cost,
-    ) -> EdgeSet {
+    fn eval_path_edges(&self, labels: &[LabelId], ctx: &mut ExecContext<'_>) -> EdgeSet {
         let n = labels.len();
         // Collect the class-node lists for prefixes n, n-1, … until an
         // exact one (§6.1's decreasing-j lookup loop).
@@ -86,7 +86,7 @@ impl<'a> ApexProcessor<'a> {
         let mut exact_found = false;
         for j in (1..=n).rev() {
             let seg = self.apex.segment_nodes(&labels[..j]);
-            cost.hash_lookups += seg.hash_lookups;
+            ctx.note_hash_lookups(seg.hash_lookups);
             segments.push(seg.xnodes);
             if seg.exact {
                 exact_found = true;
@@ -98,35 +98,37 @@ impl<'a> ApexProcessor<'a> {
             // label exists; reaching here means the label is unknown.
             return EdgeSet::new();
         }
-        // segments = [S_n, S_{n-1}, …, S_{j*}]; materialize the exact
-        // union, then probe forward.
+        // segments = [S_n, S_{n-1}, …, S_{j*}]; the exact union seeds a
+        // multi-way join that probes forward through the later segments.
         let mut iter = segments.into_iter().rev();
         let seed_classes = iter.next().expect("at least the exact segment");
-        let mut cur = EdgeSet::new();
-        let mut scratch = Vec::new();
-        for x in &seed_classes {
-            self.touch_extent(*x, cache, cost);
-            cur.union_in_place(self.apex.extent(*x), &mut scratch);
+        MultiwayJoin {
+            seed: seed_classes.iter().map(|&x| self.source(x)).collect(),
+            stages: iter
+                .map(|classes| classes.iter().map(|&x| self.source(x)).collect())
+                .collect(),
+            space: Space::ApexExtent,
         }
-        for classes in iter {
-            if cur.is_empty() {
-                break;
-            }
-            let ends = cur.end_nodes();
-            let mut next = EdgeSet::new();
-            for x in &classes {
-                let hit = self.semijoin(&ends, *x, cache, cost);
-                next.union_in_place(&hit, &mut scratch);
-            }
-            cur = next;
-        }
-        cur
+        .run(ctx)
     }
 
-    fn eval_path(&self, labels: &[LabelId], cache: &mut PageCache, cost: &mut Cost) -> Vec<NodeId> {
-        let mut nodes = self.eval_path_edges(labels, cache, cost).end_nodes();
+    fn eval_path(&self, labels: &[LabelId], ctx: &mut ExecContext<'_>) -> Vec<NodeId> {
+        let mut nodes = self.eval_path_edges(labels, ctx).end_nodes();
         self.g.sort_doc_order(&mut nodes);
         nodes
+    }
+
+    /// Charges the first visit of class node `x`'s page-packed record.
+    fn nav_node(&self, x: XNodeId, touched: &mut [bool], ctx: &mut ExecContext<'_>) {
+        let i = x.0 as usize;
+        if !touched[i] {
+            touched[i] = true;
+            IndexNav {
+                space: Space::ApexNode,
+                bytes: self.node_offsets[i]..self.node_offsets[i + 1],
+            }
+            .run(ctx);
+        }
     }
 
     /// QTYPE2: dataflow fixpoint from the `l_i` classes.
@@ -139,11 +141,10 @@ impl<'a> ApexProcessor<'a> {
         &self,
         first: LabelId,
         last: LabelId,
-        cache: &mut PageCache,
-        cost: &mut Cost,
+        ctx: &mut ExecContext<'_>,
     ) -> Vec<NodeId> {
         let seg = self.apex.segment_nodes(&[first]);
-        cost.hash_lookups += seg.hash_lookups;
+        ctx.note_hash_lookups(seg.hash_lookups);
         // known: per class node, extent pairs already proven reachable
         // from an l_i instance. pending: accumulated un-propagated delta.
         let mut known: HashMap<XNodeId, EdgeSet> = HashMap::new();
@@ -151,30 +152,30 @@ impl<'a> ApexProcessor<'a> {
         let mut queue: Vec<XNodeId> = Vec::new();
         let mut scratch = Vec::new();
         for x in &seg.xnodes {
-            self.touch_extent(*x, cache, cost);
-            let e = self.apex.extent(*x).clone();
+            let (id, set) = self.source(*x);
+            ExtentScan::pairs(Space::ApexExtent, id, set).run(ctx);
+            let e = set.clone();
             known.insert(*x, e.clone());
             pending.insert(*x, e);
             queue.push(*x);
         }
         let mut out: Vec<NodeId> = Vec::new();
-        // G_APEX node records are page-packed like the guide's (see
-        // guide_qp): first touches accumulate bytes.
+        // G_APEX node records are page-packed (Space::ApexNode): the
+        // first visit of a node charges its record's pages.
         let mut touched: Vec<bool> = vec![false; self.apex.graph().allocated()];
-        let mut node_bytes = 0usize;
         while let Some(x) = queue.pop() {
-            let Some(delta) = pending.remove(&x) else { continue };
+            let Some(delta) = pending.remove(&x) else {
+                continue;
+            };
             if delta.is_empty() {
                 continue;
             }
             let ends = delta.end_nodes();
-            if !touched[x.0 as usize] {
-                touched[x.0 as usize] = true;
-                node_bytes += 16 + 8 * self.apex.out_edges(x).len();
-            }
+            self.nav_node(x, &mut touched, ctx);
             for &(label, y) in self.apex.out_edges(x) {
-                cost.index_edges += 1;
-                let step = self.semijoin(&ends, y, cache, cost);
+                ctx.nav_edges(1);
+                let (id, extent) = self.source(y);
+                let step = exec::semijoin(ctx, &ends, Space::ApexExtent, id, extent);
                 if step.is_empty() {
                     continue;
                 }
@@ -190,7 +191,7 @@ impl<'a> ApexProcessor<'a> {
                 if fresh.is_empty() {
                     continue;
                 }
-                cost.join_output += fresh.len() as u64;
+                ctx.note_fixpoint_output(fresh.len() as u64);
                 slot.union_in_place(&fresh, &mut scratch);
                 let waiting = pending.entry(y).or_default();
                 let was_empty = waiting.is_empty();
@@ -200,7 +201,6 @@ impl<'a> ApexProcessor<'a> {
                 }
             }
         }
-        cost.pages_read += self.pages.pages_for_bytes(node_bytes);
         self.g.sort_doc_order(&mut out);
         out
     }
@@ -212,20 +212,33 @@ impl QueryProcessor for ApexProcessor<'_> {
     }
 
     fn eval(&self, q: &Query) -> QueryOutput {
-        let mut cost = Cost::new();
-        let mut cache = PageCache::new();
+        let mut ctx = ExecContext::new(&self.buf);
         let nodes = match q {
-            Query::PartialPath { labels } => self.eval_path(labels, &mut cache, &mut cost),
+            Query::PartialPath { labels } => self.eval_path(labels, &mut ctx),
             Query::AncestorDescendant { first, last } => {
-                self.eval_anc_desc(*first, *last, &mut cache, &mut cost)
+                self.eval_anc_desc(*first, *last, &mut ctx)
             }
             Query::ValuePath { labels, value } => {
-                let mut nodes = self.eval_path(labels, &mut cache, &mut cost);
-                nodes.retain(|&n| self.table.probe(n, value, &mut cost));
+                let mut nodes = self.eval_path(labels, &mut ctx);
+                nodes.retain(|&n| {
+                    DataProbe {
+                        table: self.table,
+                        nid: n,
+                        value,
+                    }
+                    .run(&mut ctx)
+                });
                 nodes
             }
         };
-        QueryOutput { nodes, cost }
+        QueryOutput {
+            nodes,
+            cost: ctx.finish(),
+        }
+    }
+
+    fn buffer(&self) -> Option<&BufferHandle> {
+        Some(&self.buf)
     }
 }
 
@@ -234,6 +247,7 @@ mod tests {
     use super::*;
     use crate::naive::NaiveProcessor;
     use apex::Workload;
+    use apex_storage::{OpKind, PageModel};
     use xmlgraph::builder::moviedb;
     use xmlgraph::LabelPath;
 
@@ -247,7 +261,9 @@ mod tests {
     }
 
     fn q1(g: &XmlGraph, p: &str) -> Query {
-        Query::PartialPath { labels: LabelPath::parse(g, p).unwrap().0 }
+        Query::PartialPath {
+            labels: LabelPath::parse(g, p).unwrap().0,
+        }
     }
 
     #[test]
@@ -289,7 +305,12 @@ mod tests {
         let (idx, t) = setup(&g, &["actor.name"]);
         let ap = ApexProcessor::new(&g, &idx, &t);
         let nv = NaiveProcessor::new(&g, &t);
-        for (a, b) in [("movie", "name"), ("director", "title"), ("actor", "title"), ("movie", "movie")] {
+        for (a, b) in [
+            ("movie", "name"),
+            ("director", "title"),
+            ("actor", "title"),
+            ("movie", "movie"),
+        ] {
             let q = Query::AncestorDescendant {
                 first: g.label_id(a).unwrap(),
                 last: g.label_id(b).unwrap(),
@@ -321,7 +342,10 @@ mod tests {
         // with no joins.
         let q = q1(&g, "name");
         let out = ap.eval(&q);
-        assert_eq!(out.nodes, vec![NodeId(3), NodeId(5), NodeId(11), NodeId(13)]);
+        assert_eq!(
+            out.nodes,
+            vec![NodeId(3), NodeId(5), NodeId(11), NodeId(13)]
+        );
         assert_eq!(out.cost.join_work, 0);
         assert!(out.cost.pages_read >= 1);
     }
@@ -359,7 +383,10 @@ mod tests {
         let ap = ApexProcessor::new(&g, &idx, &t);
         let nv = NaiveProcessor::new(&g, &t);
         let movie = g.label_id("movie").unwrap();
-        let q = Query::AncestorDescendant { first: movie, last: movie };
+        let q = Query::AncestorDescendant {
+            first: movie,
+            last: movie,
+        };
         assert_eq!(ap.eval(&q).nodes, nv.eval(&q).nodes);
     }
 
@@ -374,5 +401,27 @@ mod tests {
         // combination yields empty.
         let q = q1(&g, "title.actor");
         assert!(ap.eval(&q).nodes.is_empty());
+    }
+
+    #[test]
+    fn operators_attribute_all_pages_and_pool_is_cross_query() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &[]);
+        let ap = ApexProcessor::new(&g, &idx, &t);
+        let q = q1(&g, "director.movie.title");
+        let cold = ap.eval(&q);
+        assert!(cold.cost.pages_read > 0);
+        // Every page charged by the query is attributed to an operator.
+        let attributed: u64 = OpKind::ALL
+            .iter()
+            .map(|&k| cold.cost.ops.get(k).pages_read())
+            .sum();
+        assert_eq!(attributed, cold.cost.pages_read);
+        assert!(cold.cost.ops.get(OpKind::MultiwayJoin).invocations >= 1);
+        // The pool outlives queries: re-running is all buffer hits.
+        let warm = ap.eval(&q);
+        assert_eq!(warm.cost.pages_read, 0, "warm run must hit the pool");
+        let s = ap.buffer().unwrap().stats();
+        assert!(s.hits > 0 && s.misses > 0);
     }
 }

@@ -60,7 +60,9 @@ impl Query {
                     .map(str::trim)
                     .and_then(|p| p.strip_prefix('='))
                     .map(str::trim)
-                    .ok_or_else(|| format!("only [text() = …] predicates are supported: {input}"))?;
+                    .ok_or_else(|| {
+                        format!("only [text() = …] predicates are supported: {input}")
+                    })?;
                 let v = v
                     .strip_prefix('"')
                     .and_then(|v| v.strip_suffix('"'))
@@ -236,7 +238,10 @@ mod tests {
         let q2 = Query::AncestorDescendant { first: a, last: n };
         assert_eq!(q2.render(&g), "//actor//name");
         let p = LabelPath::parse(&g, "movie.title").unwrap();
-        let q3 = Query::ValuePath { labels: p.0, value: "Star Wars".into() };
+        let q3 = Query::ValuePath {
+            labels: p.0,
+            value: "Star Wars".into(),
+        };
         assert_eq!(q3.render(&g), "//movie/title[text() = \"Star Wars\"]");
     }
 
@@ -244,7 +249,9 @@ mod tests {
     fn len_and_labels() {
         let g = moviedb();
         let p = LabelPath::parse(&g, "movie.title").unwrap();
-        let q = Query::PartialPath { labels: p.0.clone() };
+        let q = Query::PartialPath {
+            labels: p.0.clone(),
+        };
         assert_eq!(q.len(), 2);
         assert_eq!(q.labels(), Some(p.0.as_slice()));
         let a = g.label_id("actor").unwrap();

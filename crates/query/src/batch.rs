@@ -3,6 +3,7 @@
 
 use std::time::{Duration, Instant};
 
+use apex_storage::bufmgr::{BufferHandle, BufferStats};
 use apex_storage::Cost;
 use xmlgraph::NodeId;
 
@@ -24,6 +25,11 @@ pub trait QueryProcessor {
     fn name(&self) -> &'static str;
     /// Evaluates one query.
     fn eval(&self, q: &Query) -> QueryOutput;
+    /// The cross-query buffer pool this processor charges against, if it
+    /// evaluates through the shared execution layer.
+    fn buffer(&self) -> Option<&BufferHandle> {
+        None
+    }
 }
 
 /// Aggregates over a batch of queries.
@@ -39,12 +45,16 @@ pub struct BatchStats {
     pub cost: Cost,
     /// Accumulated wall-clock time.
     pub wall: Duration,
+    /// Buffer-pool activity during the batch (hits/misses/evictions),
+    /// when the processor exposes its pool.
+    pub buf: Option<BufferStats>,
 }
 
 impl BatchStats {
-    /// One row of a figure: `pages`, `total logical`, `wall ms`.
+    /// One row of a figure: `pages`, `total logical`, `wall ms`, and the
+    /// pool's hit rate when available.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} queries, {} result nodes ({} empty) | pages={} logical={} wall={:.1}ms",
             self.queries,
             self.result_nodes,
@@ -52,12 +62,18 @@ impl BatchStats {
             self.cost.pages_read,
             self.cost.total(),
             self.wall.as_secs_f64() * 1e3,
-        )
+        );
+        if let Some(b) = &self.buf {
+            s.push_str(&format!(" | {b}"));
+        }
+        s
     }
 }
 
-/// Runs `queries` through `p`, accumulating cost and wall time.
+/// Runs `queries` through `p`, accumulating cost, wall time, and the
+/// processor's buffer-pool delta.
 pub fn run_batch(p: &dyn QueryProcessor, queries: &[Query]) -> BatchStats {
+    let before = p.buffer().map(|b| b.stats());
     let mut stats = BatchStats::default();
     let start = Instant::now();
     for q in queries {
@@ -70,19 +86,26 @@ pub fn run_batch(p: &dyn QueryProcessor, queries: &[Query]) -> BatchStats {
         stats.cost += out.cost;
     }
     stats.wall = start.elapsed();
+    stats.buf = match (p.buffer(), before) {
+        (Some(b), Some(s0)) => Some(b.stats() - s0),
+        _ => None,
+    };
     stats
 }
 
 /// Runs `queries` across `threads` worker threads sharing the processor
 /// immutably (processors hold only shared references to the index and
-/// data). Logical costs are summed; wall time is the batch's span, so
-/// speed-up shows directly against [`run_batch`].
+/// data; the buffer pool behind [`QueryProcessor::buffer`] is shared by
+/// all workers through its internal lock). Logical costs are summed;
+/// wall time is the batch's span, so speed-up shows directly against
+/// [`run_batch`]; the buffer delta covers the whole batch.
 pub fn run_batch_parallel(
     p: &(dyn QueryProcessor + Sync),
     queries: &[Query],
     threads: usize,
 ) -> BatchStats {
     let threads = threads.max(1);
+    let before = p.buffer().map(|b| b.stats());
     let start = Instant::now();
     let chunk = queries.len().div_ceil(threads).max(1);
     let partials: Vec<BatchStats> = std::thread::scope(|scope| {
@@ -103,6 +126,12 @@ pub fn run_batch_parallel(
         stats.cost += part.cost;
     }
     stats.wall = start.elapsed();
+    // Per-worker deltas overlap on the shared pool; the batch-level
+    // delta is the authoritative account.
+    stats.buf = match (p.buffer(), before) {
+        (Some(b), Some(s0)) => Some(b.stats() - s0),
+        _ => None,
+    };
     stats
 }
 
@@ -114,23 +143,37 @@ mod tests {
     use xmlgraph::builder::moviedb;
     use xmlgraph::LabelPath;
 
+    fn queries(g: &xmlgraph::XmlGraph) -> Vec<Query> {
+        ["actor.name", "movie.title", "name", "title", "movie"]
+            .iter()
+            .cycle()
+            .take(40)
+            .map(|s| Query::PartialPath {
+                labels: LabelPath::parse(g, s).unwrap().0,
+            })
+            .collect()
+    }
+
     #[test]
     fn parallel_matches_sequential() {
         let g = moviedb();
         let table = DataTable::build(&g, PageModel::default());
-        let p = NaiveProcessor::new(&g, &table);
-        let queries: Vec<Query> = ["actor.name", "movie.title", "name", "title", "movie"]
-            .iter()
-            .cycle()
-            .take(40)
-            .map(|s| Query::PartialPath { labels: LabelPath::parse(&g, s).unwrap().0 })
-            .collect();
-        let seq = run_batch(&p, &queries);
-        let par = run_batch_parallel(&p, &queries, 4);
+        let qs = queries(&g);
+        // Fresh processors (= fresh pools): the pool is cross-query, so
+        // reusing one processor would make the second batch all hits.
+        let seq = run_batch(&NaiveProcessor::new(&g, &table), &qs);
+        let par = run_batch_parallel(&NaiveProcessor::new(&g, &table), &qs, 4);
         assert_eq!(seq.queries, par.queries);
         assert_eq!(seq.result_nodes, par.result_nodes);
         assert_eq!(seq.empty_results, par.empty_results);
+        // With an unbounded shared pool every distinct object misses
+        // exactly once regardless of schedule, so aggregate costs (and
+        // their per-operator attribution) are schedule-independent.
         assert_eq!(seq.cost, par.cost);
+        let (sb, pb) = (seq.buf.unwrap(), par.buf.unwrap());
+        assert_eq!(sb.misses, pb.misses);
+        assert_eq!(sb.hits, pb.hits);
+        assert!(sb.hits > 0, "batch with repeats must hit the pool");
     }
 
     #[test]
@@ -145,5 +188,23 @@ mod tests {
             let s = run_batch_parallel(&p, &queries, threads);
             assert_eq!(s.queries, 1);
         }
+    }
+
+    #[test]
+    fn batch_reports_buffer_delta_and_summary_hit_rate() {
+        let g = moviedb();
+        let table = DataTable::build(&g, PageModel::default());
+        let p = NaiveProcessor::new(&g, &table);
+        let qs = queries(&g);
+        let first = run_batch(&p, &qs);
+        let b = first.buf.expect("naive exposes its pool");
+        assert!(b.misses > 0);
+        assert!(first.summary().contains("hit_rate"));
+        // A second batch over the same processor is all hits — the delta
+        // accounting must not re-report the first batch's misses.
+        let second = run_batch(&p, &qs);
+        let b2 = second.buf.unwrap();
+        assert_eq!(b2.misses, 0);
+        assert!(b2.hits > 0);
     }
 }

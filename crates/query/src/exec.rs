@@ -1,0 +1,533 @@
+//! The shared physical execution layer.
+//!
+//! Every query processor used in the Figure 13–15 comparison (APEX,
+//! strong DataGuide, 1-index, Index Fabric, naive) evaluates QTYPE1/2/3
+//! through the operators in this module, so extent access, buffer-pool
+//! charging and cost accounting are implemented exactly once and the
+//! cross-index comparison stays fair by construction.
+//!
+//! [`ExecContext`] carries the per-query [`Cost`] and a handle to the
+//! *cross-query* [`BufferHandle`] pool; operators route every page
+//! touch through the pool and attribute the counters they move to
+//! their [`OpKind`] (by diffing scalar snapshots around the operator
+//! body, so nested composites never double-count).
+//!
+//! | operator | paper role |
+//! |---|---|
+//! | [`ExtentScan`] | read one stored extent |
+//! | [`ExtentUnion`] | union the extents of one `H_APEX` segment |
+//! | [`SemijoinProbe`] | join step via clustered-index range probes |
+//! | [`SemijoinMerge`] | join step via a linear sorted merge |
+//! | [`MultiwayJoin`] | the §6.1 QTYPE1 chain: seed union + join steps |
+//! | [`DataProbe`] | QTYPE3 data-table value test |
+//! | [`IndexNav`] | index-graph navigation I/O (page-packed records) |
+//! | [`TrieSearch`] | Index Fabric key search / traversal |
+
+use apex_storage::bufmgr::{BufferHandle, ObjectId, Space};
+use apex_storage::{Cost, DataTable, EdgeSet, OpKind};
+use fabric::IndexFabric;
+use xmlgraph::{LabelId, NodeId};
+
+/// Per-query execution state: the cost being accumulated plus the
+/// shared buffer pool every operator charges against.
+pub struct ExecContext<'a> {
+    buf: &'a BufferHandle,
+    /// The counters this query has accumulated so far.
+    pub cost: Cost,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A fresh context over a shared pool.
+    pub fn new(buf: &'a BufferHandle) -> Self {
+        ExecContext {
+            buf,
+            cost: Cost::new(),
+        }
+    }
+
+    /// The buffer pool behind this context.
+    pub fn buffer(&self) -> &'a BufferHandle {
+        self.buf
+    }
+
+    /// Consumes the context, yielding the accumulated cost.
+    pub fn finish(self) -> Cost {
+        self.cost
+    }
+
+    /// Runs `body` and attributes every scalar counter it moves to
+    /// `kind`, counting one invocation.
+    fn attributed<T>(
+        &mut self,
+        kind: OpKind,
+        body: impl FnOnce(&mut Cost, &BufferHandle) -> T,
+    ) -> T {
+        let before = self.cost.scalars();
+        let out = body(&mut self.cost, self.buf);
+        let after = self.cost.scalars();
+        let mut delta = [0u64; 8];
+        for (d, (a, b)) in delta.iter_mut().zip(after.iter().zip(before)) {
+            *d = a - b;
+        }
+        self.cost.ops.record(kind, true, delta);
+        out
+    }
+
+    /// Records `n` hash-table lookups (H_APEX / hash-tree probes),
+    /// attributed to [`OpKind::IndexNav`] without counting an
+    /// invocation.
+    pub fn note_hash_lookups(&mut self, n: u64) {
+        self.cost.hash_lookups += n;
+        self.cost
+            .ops
+            .record(OpKind::IndexNav, false, [0, n, 0, 0, 0, 0, 0, 0]);
+    }
+
+    /// Records `n` result pairs accumulated by a dataflow fixpoint
+    /// step, attributed to [`OpKind::IndexNav`] without counting an
+    /// invocation.
+    pub fn note_fixpoint_output(&mut self, n: u64) {
+        self.cost.join_output += n;
+        self.cost
+            .ops
+            .record(OpKind::IndexNav, false, [0, 0, 0, 0, n, 0, 0, 0]);
+    }
+
+    /// Records `n` index-graph edges traversed, attributed to
+    /// [`OpKind::IndexNav`] without counting an invocation.
+    pub fn nav_edges(&mut self, n: u64) {
+        self.cost.index_edges += n;
+        self.cost
+            .ops
+            .record(OpKind::IndexNav, false, [n, 0, 0, 0, 0, 0, 0, 0]);
+    }
+}
+
+/// What an [`ExtentScan`] reads: a separately stored object, or a byte
+/// range of a page-packed array (posting lists, adjacency lists).
+#[derive(Debug, Clone)]
+enum ScanTarget {
+    Object {
+        id: ObjectId,
+        bytes: usize,
+    },
+    Packed {
+        space: Space,
+        bytes: std::ops::Range<u64>,
+    },
+}
+
+/// Materializes one stored extent through the buffer pool: charges the
+/// elements read plus the pages a miss costs. Covers pair extents
+/// (APEX, 8 bytes/pair), node-list extents (guide/1-index,
+/// 4 bytes/node) and page-packed ranges (naive posting/adjacency
+/// scans) via the constructors.
+#[derive(Debug, Clone)]
+pub struct ExtentScan {
+    target: ScanTarget,
+    len: usize,
+}
+
+impl ExtentScan {
+    /// Scan of an edge-pair extent (8 bytes per `<parent,node>` pair).
+    pub fn pairs(space: Space, id: u64, set: &EdgeSet) -> Self {
+        ExtentScan {
+            target: ScanTarget::Object {
+                id: ObjectId::new(space, id),
+                bytes: set.len() * 8,
+            },
+            len: set.len(),
+        }
+    }
+
+    /// Scan of a node-list extent (4 bytes per node id).
+    pub fn nodes(space: Space, id: u64, nodes: &[NodeId]) -> Self {
+        ExtentScan {
+            target: ScanTarget::Object {
+                id: ObjectId::new(space, id),
+                bytes: nodes.len() * 4,
+            },
+            len: nodes.len(),
+        }
+    }
+
+    /// Scan of `len` elements packed at `bytes` of a page-packed array.
+    pub fn packed(space: Space, bytes: std::ops::Range<u64>, len: usize) -> Self {
+        ExtentScan {
+            target: ScanTarget::Packed { space, bytes },
+            len,
+        }
+    }
+
+    /// Charges the scan. The caller keeps the data (extents live in the
+    /// index structures; this operator models their I/O).
+    pub fn run(self, ctx: &mut ExecContext<'_>) {
+        ctx.attributed(OpKind::ExtentScan, |cost, buf| {
+            cost.extent_pairs += self.len as u64;
+            cost.pages_read += match self.target {
+                ScanTarget::Object { id, bytes } => buf.touch(id, bytes),
+                ScanTarget::Packed { space, bytes } => buf.touch_byte_range(space, bytes),
+            };
+        })
+    }
+}
+
+/// Scans several extents and merges them into one edge set — the seed
+/// of a QTYPE1 plan (the exact segment's class extents).
+#[derive(Debug)]
+pub struct ExtentUnion<'a> {
+    /// `(buffer id, extent)` sources, scanned in order.
+    pub sources: Vec<(u64, &'a EdgeSet)>,
+    /// The address space the ids live in.
+    pub space: Space,
+}
+
+impl ExtentUnion<'_> {
+    /// Scans and merges every source.
+    pub fn run(self, ctx: &mut ExecContext<'_>) -> EdgeSet {
+        ctx.attributed(OpKind::ExtentUnion, |cost, buf| {
+            let mut out = EdgeSet::new();
+            let mut scratch = Vec::new();
+            for (id, set) in &self.sources {
+                cost.extent_pairs += set.len() as u64;
+                cost.pages_read += buf.touch(ObjectId::new(self.space, *id), set.len() * 8);
+                out.union_in_place(set, &mut scratch);
+            }
+            out
+        })
+    }
+}
+
+/// Semijoin of a sorted extent against sorted delta end nodes via
+/// binary-searched range probes — the clustered-index access path,
+/// chosen when the delta is much smaller than the extent.
+#[derive(Debug)]
+pub struct SemijoinProbe<'a> {
+    /// Sorted, distinct end nodes driving the probes.
+    pub ends: &'a [NodeId],
+    /// Buffer-pool identity of the probed extent.
+    pub id: ObjectId,
+    /// The probed extent.
+    pub extent: &'a EdgeSet,
+}
+
+impl SemijoinProbe<'_> {
+    /// Runs the probes, returning the matched pairs.
+    pub fn run(self, ctx: &mut ExecContext<'_>) -> EdgeSet {
+        ctx.attributed(OpKind::SemijoinProbe, |cost, buf| {
+            cost.extent_pairs += self.extent.len() as u64;
+            cost.pages_read += buf.touch(self.id, self.extent.len() * 8);
+            let (hit, work) = self.extent.probe_by_parents(self.ends);
+            cost.join_work += work as u64;
+            cost.join_output += hit.len() as u64;
+            hit
+        })
+    }
+}
+
+/// Semijoin of a sorted extent against sorted delta end nodes via a
+/// linear merge — optimal when the two sides are of the same order.
+#[derive(Debug)]
+pub struct SemijoinMerge<'a> {
+    /// Sorted, distinct end nodes.
+    pub ends: &'a [NodeId],
+    /// Buffer-pool identity of the merged extent.
+    pub id: ObjectId,
+    /// The merged extent.
+    pub extent: &'a EdgeSet,
+}
+
+impl SemijoinMerge<'_> {
+    /// Runs the merge, returning the matched pairs.
+    pub fn run(self, ctx: &mut ExecContext<'_>) -> EdgeSet {
+        ctx.attributed(OpKind::SemijoinMerge, |cost, buf| {
+            cost.extent_pairs += self.extent.len() as u64;
+            cost.pages_read += buf.touch(self.id, self.extent.len() * 8);
+            let (hit, work) = self.extent.semijoin_ends(self.ends);
+            cost.join_work += work as u64;
+            cost.join_output += hit.len() as u64;
+            hit
+        })
+    }
+}
+
+/// Adaptive semijoin: probes when the delta is much smaller than the
+/// extent, merges otherwise (the access-path choice every processor
+/// previously hand-rolled).
+pub fn semijoin(
+    ctx: &mut ExecContext<'_>,
+    ends: &[NodeId],
+    space: Space,
+    id: u64,
+    extent: &EdgeSet,
+) -> EdgeSet {
+    let id = ObjectId::new(space, id);
+    if ends.len() * 8 < extent.len() {
+        SemijoinProbe { ends, id, extent }.run(ctx)
+    } else {
+        SemijoinMerge { ends, id, extent }.run(ctx)
+    }
+}
+
+/// The §6.1 QTYPE1 chain: union the exact segment's extents, then
+/// semijoin forward through the remaining segments. Composite — the
+/// union and semijoin work attributes to those operators; this one only
+/// counts its invocation.
+#[derive(Debug)]
+pub struct MultiwayJoin<'a> {
+    /// The exact segment's `(id, extent)` sources.
+    pub seed: Vec<(u64, &'a EdgeSet)>,
+    /// One entry per later segment: the class extents semijoined
+    /// against the running result.
+    pub stages: Vec<Vec<(u64, &'a EdgeSet)>>,
+    /// The address space of every id.
+    pub space: Space,
+}
+
+impl MultiwayJoin<'_> {
+    /// Executes the chain.
+    pub fn run(self, ctx: &mut ExecContext<'_>) -> EdgeSet {
+        ctx.cost.ops.record(OpKind::MultiwayJoin, true, [0; 8]);
+        let mut cur = ExtentUnion {
+            sources: self.seed,
+            space: self.space,
+        }
+        .run(ctx);
+        let mut scratch = Vec::new();
+        for stage in self.stages {
+            if cur.is_empty() {
+                break;
+            }
+            let ends = cur.end_nodes();
+            let mut next = EdgeSet::new();
+            for (id, extent) in stage {
+                let hit = semijoin(ctx, &ends, self.space, id, extent);
+                next.union_in_place(&hit, &mut scratch);
+            }
+            cur = next;
+        }
+        cur
+    }
+}
+
+/// One QTYPE3 data-table value test through the buffer pool.
+#[derive(Debug)]
+pub struct DataProbe<'a> {
+    /// The `nid → value` table.
+    pub table: &'a DataTable,
+    /// The node whose value is tested.
+    pub nid: NodeId,
+    /// The expected value.
+    pub value: &'a str,
+}
+
+impl DataProbe<'_> {
+    /// Probes; true when `nid` carries exactly `value`.
+    pub fn run(self, ctx: &mut ExecContext<'_>) -> bool {
+        ctx.attributed(OpKind::DataProbe, |cost, buf| {
+            self.table.probe_buffered(buf, cost, self.nid, self.value)
+        })
+    }
+}
+
+/// Navigation I/O over page-packed index-node records: touches every
+/// page overlapping the byte range of the visited record.
+#[derive(Debug)]
+pub struct IndexNav {
+    /// The record space (e.g. [`Space::GuideNode`]).
+    pub space: Space,
+    /// Byte range of the visited record(s) in the packed layout.
+    pub bytes: std::ops::Range<u64>,
+}
+
+impl IndexNav {
+    /// Charges the record pages.
+    pub fn run(self, ctx: &mut ExecContext<'_>) {
+        ctx.attributed(OpKind::IndexNav, |cost, buf| {
+            cost.pages_read += buf.touch_byte_range(self.space, self.bytes);
+        })
+    }
+}
+
+/// An Index Fabric key search: exact (single descent) or partial
+/// (whole-trie traversal with suffix validation).
+#[derive(Debug)]
+pub struct TrieSearch<'a> {
+    /// The fabric searched.
+    pub fabric: &'a IndexFabric,
+    /// Query label suffix.
+    pub labels: &'a [LabelId],
+    /// The value predicate.
+    pub value: &'a str,
+    /// True for a single exact-key descent; false traverses the trie
+    /// (partial matching).
+    pub exact: bool,
+}
+
+impl TrieSearch<'_> {
+    /// Runs the search, returning matching nodes (unsorted).
+    pub fn run(self, ctx: &mut ExecContext<'_>) -> Vec<NodeId> {
+        ctx.attributed(OpKind::TrieSearch, |cost, buf| {
+            if self.exact {
+                self.fabric
+                    .search_exact_buffered(buf, self.labels, self.value, cost)
+            } else {
+                self.fabric
+                    .search_partial_buffered(buf, self.labels, self.value, cost)
+            }
+        })
+    }
+}
+
+/// Prefix byte offsets of page-packed variable-size records: record `i`
+/// occupies `offsets[i]..offsets[i+1]`. Used by processors to lay out
+/// index-node records (16 bytes header + 8 per edge) once, then touch
+/// ranges through [`IndexNav`].
+pub fn record_layout(record_bytes: impl Iterator<Item = usize>) -> Vec<u64> {
+    let mut offsets = vec![0u64];
+    let mut acc = 0u64;
+    for b in record_bytes {
+        acc += b as u64;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_storage::PageModel;
+
+    #[test]
+    fn extent_scan_charges_pairs_and_attributes() {
+        let buf = BufferHandle::unbounded();
+        let set = EdgeSet::from_raw(&[(1, 2), (3, 4)]);
+        let mut ctx = ExecContext::new(&buf);
+        ExtentScan::pairs(Space::ApexExtent, 7, &set).run(&mut ctx);
+        ExtentScan::pairs(Space::ApexExtent, 7, &set).run(&mut ctx);
+        let cost = ctx.finish();
+        assert_eq!(cost.extent_pairs, 4);
+        assert_eq!(cost.pages_read, 1, "second scan hits the pool");
+        let op = cost.ops.get(OpKind::ExtentScan);
+        assert_eq!(op.invocations, 2);
+        assert_eq!(op.pages_read(), 1);
+        assert_eq!(op.extent_pairs(), 4);
+    }
+
+    #[test]
+    fn union_merges_and_semijoin_adapts() {
+        let buf = BufferHandle::unbounded();
+        let a = EdgeSet::from_raw(&[(1, 2)]);
+        let b = EdgeSet::from_raw(&[(3, 4)]);
+        let mut ctx = ExecContext::new(&buf);
+        let u = ExtentUnion {
+            sources: vec![(0, &a), (1, &b)],
+            space: Space::ApexExtent,
+        }
+        .run(&mut ctx);
+        assert_eq!(u, EdgeSet::from_raw(&[(1, 2), (3, 4)]));
+        // 2 ends vs a 2-pair extent: 2*8 >= 2, so the merge path runs.
+        let next = EdgeSet::from_raw(&[(2, 7), (4, 9), (5, 5)]);
+        let ends = u.end_nodes();
+        let hit = semijoin(&mut ctx, &ends, Space::ApexExtent, 2, &next);
+        assert_eq!(hit, EdgeSet::from_raw(&[(2, 7), (4, 9)]));
+        let cost = ctx.finish();
+        assert_eq!(cost.ops.get(OpKind::SemijoinMerge).invocations, 1);
+        assert_eq!(cost.ops.get(OpKind::SemijoinProbe).invocations, 0);
+        assert!(cost.join_work > 0);
+        assert_eq!(cost.join_output, 2);
+    }
+
+    #[test]
+    fn multiway_join_attributes_to_inner_operators() {
+        let buf = BufferHandle::unbounded();
+        let seed = EdgeSet::from_raw(&[(0, 1), (0, 2)]);
+        let s1 = EdgeSet::from_raw(&[(1, 10), (2, 11), (9, 9)]);
+        let mut ctx = ExecContext::new(&buf);
+        let out = MultiwayJoin {
+            seed: vec![(0, &seed)],
+            stages: vec![vec![(1, &s1)]],
+            space: Space::ApexExtent,
+        }
+        .run(&mut ctx);
+        assert_eq!(out, EdgeSet::from_raw(&[(1, 10), (2, 11)]));
+        let cost = ctx.finish();
+        let mj = cost.ops.get(OpKind::MultiwayJoin);
+        assert_eq!(mj.invocations, 1);
+        // Composite: the pages/pairs live on the inner operators.
+        assert_eq!(mj.pages_read() + mj.extent_pairs(), 0);
+        assert_eq!(cost.ops.get(OpKind::ExtentUnion).invocations, 1);
+        assert_eq!(
+            cost.ops.get(OpKind::SemijoinMerge).invocations
+                + cost.ops.get(OpKind::SemijoinProbe).invocations,
+            1
+        );
+        // Scalar totals equal the sum of the per-op attributions.
+        let attributed: u64 = OpKind::ALL
+            .iter()
+            .map(|&k| cost.ops.get(k).pages_read())
+            .sum();
+        assert_eq!(attributed, cost.pages_read);
+    }
+
+    #[test]
+    fn empty_seed_short_circuits_stages() {
+        let buf = BufferHandle::unbounded();
+        let s1 = EdgeSet::from_raw(&[(1, 10)]);
+        let mut ctx = ExecContext::new(&buf);
+        let out = MultiwayJoin {
+            seed: vec![],
+            stages: vec![vec![(1, &s1)]],
+            space: Space::ApexExtent,
+        }
+        .run(&mut ctx);
+        assert!(out.is_empty());
+        let cost = ctx.finish();
+        assert_eq!(cost.ops.get(OpKind::SemijoinMerge).invocations, 0);
+        assert_eq!(cost.extent_pairs, 0);
+    }
+
+    #[test]
+    fn index_nav_touches_record_pages_once() {
+        let buf = BufferHandle::unbounded();
+        let psz = PageModel::default().page_size as u64;
+        let offsets = record_layout([16usize, 24, 8192, 40].into_iter());
+        assert_eq!(offsets, vec![0, 16, 40, 8232, 8272]);
+        let mut ctx = ExecContext::new(&buf);
+        IndexNav {
+            space: Space::GuideNode,
+            bytes: offsets[0]..offsets[1],
+        }
+        .run(&mut ctx);
+        IndexNav {
+            space: Space::GuideNode,
+            bytes: offsets[1]..offsets[2],
+        }
+        .run(&mut ctx);
+        // Records 0 and 1 share page 0.
+        assert_eq!(ctx.cost.pages_read, 1);
+        IndexNav {
+            space: Space::GuideNode,
+            bytes: offsets[2]..offsets[3],
+        }
+        .run(&mut ctx);
+        // Record 2 spans pages 0 and 1; only page 1 is new.
+        assert_eq!(ctx.cost.pages_read, 2);
+        assert!(offsets[3] > psz);
+        let cost = ctx.finish();
+        assert_eq!(cost.ops.get(OpKind::IndexNav).pages_read(), 2);
+    }
+
+    #[test]
+    fn nav_edges_attribute_without_invocations() {
+        let buf = BufferHandle::unbounded();
+        let mut ctx = ExecContext::new(&buf);
+        ctx.nav_edges(5);
+        ctx.nav_edges(2);
+        let cost = ctx.finish();
+        assert_eq!(cost.index_edges, 7);
+        let nav = cost.ops.get(OpKind::IndexNav);
+        assert_eq!(nav.scalars[0], 7);
+        assert_eq!(nav.invocations, 0);
+    }
+}

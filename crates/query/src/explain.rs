@@ -8,6 +8,7 @@
 //! understanding why a particular `minSup` setting helps a workload.
 
 use apex::Apex;
+use apex_storage::bufmgr::BufferStats;
 use xmlgraph::{LabelId, XmlGraph};
 
 use crate::ast::Query;
@@ -61,17 +62,26 @@ impl Plan {
         )
     }
 
-    /// Human-readable rendering.
+    /// Human-readable rendering, naming the physical operators of the
+    /// shared execution layer ([`crate::exec`]) the plan runs through.
     pub fn render(&self, g: &XmlGraph, q: &Query) -> String {
         let mut s = format!("EXPLAIN {}\n", q.render(g));
         match self {
             Plan::Empty => s.push_str("  -> empty (unknown label)\n"),
-            Plan::AncestorDescendant { start_classes, seed_pairs } => {
+            Plan::AncestorDescendant {
+                start_classes,
+                seed_pairs,
+            } => {
                 s.push_str(&format!(
                     "  -> dataflow from {start_classes} class node(s), {seed_pairs} seed pair(s)\n"
                 ));
+                s.push_str("  -> Semijoin(Probe|Merge) per G_APEX edge until fixpoint\n");
             }
-            Plan::PathJoin { segments, joins, value_filter } => {
+            Plan::PathJoin {
+                segments,
+                joins,
+                value_filter,
+            } => {
                 for seg in segments {
                     s.push_str(&format!(
                         "  -> prefix[..{}]: {} class(es), {} pair(s){}\n",
@@ -82,15 +92,26 @@ impl Plan {
                     ));
                 }
                 if *joins == 0 {
-                    s.push_str("  -> direct answer from extents (no joins)\n");
+                    s.push_str("  -> ExtentUnion: direct answer from extents (no joins)\n");
                 } else {
-                    s.push_str(&format!("  -> {joins} semijoin step(s)\n"));
+                    s.push_str(&format!(
+                        "  -> MultiwayJoin: ExtentUnion seed + {joins} Semijoin(Probe|Merge) step(s)\n"
+                    ));
                 }
                 if *value_filter {
-                    s.push_str("  -> data-table value filter\n");
+                    s.push_str("  -> DataProbe value filter\n");
                 }
             }
         }
+        s
+    }
+
+    /// [`Plan::render`] followed by the cross-query buffer pool's state,
+    /// so `explain` output shows how much of the plan's I/O the pool
+    /// would absorb.
+    pub fn render_with_buffer(&self, g: &XmlGraph, q: &Query, stats: &BufferStats) -> String {
+        let mut s = self.render(g, q);
+        s.push_str(&format!("  -> buffer pool: {stats}\n"));
         s
     }
 }
@@ -104,7 +125,10 @@ pub fn explain_apex(apex: &Apex, q: &Query) -> Plan {
                 return Plan::Empty;
             }
             let seed_pairs = seg.xnodes.iter().map(|&x| apex.extent(x).len()).sum();
-            Plan::AncestorDescendant { start_classes: seg.xnodes.len(), seed_pairs }
+            Plan::AncestorDescendant {
+                start_classes: seg.xnodes.len(),
+                seed_pairs,
+            }
         }
         Query::PartialPath { labels } => plan_path(apex, labels, false),
         Query::ValuePath { labels, .. } => plan_path(apex, labels, true),
@@ -134,7 +158,11 @@ fn plan_path(apex: &Apex, labels: &[LabelId], value_filter: bool) -> Plan {
     }
     segments.reverse(); // exact seed first — evaluation order
     let joins = segments.len() - 1;
-    Plan::PathJoin { segments, joins, value_filter }
+    Plan::PathJoin {
+        segments,
+        joins,
+        value_filter,
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +196,12 @@ mod tests {
         let q = Query::parse(&g, "//director/movie/title").unwrap();
         let plan = explain_apex(&idx, &q);
         assert!(!plan.is_direct());
-        let Plan::PathJoin { segments, joins, value_filter } = &plan else {
+        let Plan::PathJoin {
+            segments,
+            joins,
+            value_filter,
+        } = &plan
+        else {
             panic!("expected path plan")
         };
         assert_eq!(*joins, segments.len() - 1);
@@ -184,9 +217,27 @@ mod tests {
         let (g, idx) = figure2();
         let q = Query::parse(&g, "//title[text() = \"Star Wars\"]").unwrap();
         let plan = explain_apex(&idx, &q);
-        let Plan::PathJoin { value_filter, .. } = &plan else { panic!() };
+        let Plan::PathJoin { value_filter, .. } = &plan else {
+            panic!()
+        };
         assert!(value_filter);
         assert!(plan.render(&g, &q).contains("value filter"));
+    }
+
+    #[test]
+    fn render_with_buffer_appends_pool_state() {
+        use crate::apex_qp::ApexProcessor;
+        use crate::batch::QueryProcessor;
+        use apex_storage::{DataTable, PageModel};
+        let (g, idx) = figure2();
+        let table = DataTable::build(&g, PageModel::default());
+        let qp = ApexProcessor::new(&g, &idx, &table);
+        let q = Query::parse(&g, "//actor/name").unwrap();
+        let _ = qp.eval(&q);
+        let stats = qp.buffer().unwrap().stats();
+        let s = explain_apex(&idx, &q).render_with_buffer(&g, &q, &stats);
+        assert!(s.contains("buffer pool"));
+        assert!(s.contains("hit_rate"));
     }
 
     #[test]
@@ -194,7 +245,11 @@ mod tests {
         let (g, idx) = figure2();
         let q = Query::parse(&g, "//movie//name").unwrap();
         let plan = explain_apex(&idx, &q);
-        let Plan::AncestorDescendant { start_classes, seed_pairs } = plan else {
+        let Plan::AncestorDescendant {
+            start_classes,
+            seed_pairs,
+        } = plan
+        else {
             panic!()
         };
         assert!(start_classes >= 1);

@@ -1,23 +1,31 @@
 //! The Index Fabric query processor (QTYPE3 only — the fabric indexes
 //! path+value keys and "is not effective" for QTYPE1/QTYPE2, §2).
 
-use apex_storage::Cost;
+use apex_storage::bufmgr::BufferHandle;
+
 use fabric::IndexFabric;
 use xmlgraph::XmlGraph;
 
 use crate::ast::Query;
 use crate::batch::{QueryOutput, QueryProcessor};
+use crate::exec::{ExecContext, TrieSearch};
 
 /// Query processor over an [`IndexFabric`].
 pub struct FabricProcessor<'a> {
     g: &'a XmlGraph,
     fabric: &'a IndexFabric,
+    buf: BufferHandle,
 }
 
 impl<'a> FabricProcessor<'a> {
-    /// Creates a processor.
+    /// Creates a processor with a private (unbounded) buffer pool.
     pub fn new(g: &'a XmlGraph, fabric: &'a IndexFabric) -> Self {
-        FabricProcessor { g, fabric }
+        Self::with_buffer(g, fabric, BufferHandle::unbounded())
+    }
+
+    /// Creates a processor charging against a shared buffer pool.
+    pub fn with_buffer(g: &'a XmlGraph, fabric: &'a IndexFabric, buf: BufferHandle) -> Self {
+        FabricProcessor { g, fabric, buf }
     }
 }
 
@@ -27,20 +35,34 @@ impl QueryProcessor for FabricProcessor<'_> {
     }
 
     /// QTYPE3 queries are answered from the trie alone: partial-matching
-    /// expressions traverse the whole trie and validate keys. QTYPE1 and
-    /// QTYPE2 return empty with zero cost — callers exclude the fabric
-    /// from those experiments, as the paper does.
+    /// expressions traverse the whole trie (a [`TrieSearch`] operator)
+    /// and validate keys. QTYPE1 and QTYPE2 return empty with zero cost —
+    /// callers exclude the fabric from those experiments, as the paper
+    /// does.
     fn eval(&self, q: &Query) -> QueryOutput {
-        let mut cost = Cost::new();
+        let mut ctx = ExecContext::new(&self.buf);
         let nodes = match q {
             Query::ValuePath { labels, value } => {
-                let mut nodes = self.fabric.search_partial(labels, value, &mut cost);
+                let mut nodes = TrieSearch {
+                    fabric: self.fabric,
+                    labels,
+                    value,
+                    exact: false,
+                }
+                .run(&mut ctx);
                 self.g.sort_doc_order(&mut nodes);
                 nodes
             }
             _ => Vec::new(),
         };
-        QueryOutput { nodes, cost }
+        QueryOutput {
+            nodes,
+            cost: ctx.finish(),
+        }
+    }
+
+    fn buffer(&self) -> Option<&BufferHandle> {
+        Some(&self.buf)
     }
 }
 
@@ -48,7 +70,7 @@ impl QueryProcessor for FabricProcessor<'_> {
 mod tests {
     use super::*;
     use crate::naive::NaiveProcessor;
-    use apex_storage::{DataTable, PageModel};
+    use apex_storage::{DataTable, OpKind, PageModel};
     use xmlgraph::builder::moviedb;
     use xmlgraph::LabelPath;
 
@@ -83,5 +105,22 @@ mod tests {
             labels: LabelPath::parse(&g, "title").unwrap().0,
         };
         assert!(fp.eval(&q).nodes.is_empty());
+    }
+
+    #[test]
+    fn trie_blocks_are_pooled_across_queries() {
+        let g = moviedb();
+        let f = IndexFabric::build(&g);
+        let fp = FabricProcessor::new(&g, &f);
+        let q = Query::ValuePath {
+            labels: LabelPath::parse(&g, "title").unwrap().0,
+            value: "Star Wars".into(),
+        };
+        let cold = fp.eval(&q);
+        assert!(cold.cost.pages_read >= 1);
+        assert_eq!(cold.cost.ops.get(OpKind::TrieSearch).invocations, 1);
+        let warm = fp.eval(&q);
+        assert_eq!(warm.cost.pages_read, 0, "blocks stay resident");
+        assert_eq!(warm.cost.trie_nodes, cold.cost.trie_nodes);
     }
 }

@@ -50,7 +50,10 @@ impl Default for GeneratorConfig {
             qtype3: 1000,
             workload_fraction: 0.20,
             seed: 0x9E37,
-            limits: EnumLimits { max_len: 12, max_paths: 100_000 },
+            limits: EnumLimits {
+                max_len: 12,
+                max_paths: 100_000,
+            },
         }
     }
 }
@@ -124,8 +127,7 @@ impl QuerySets {
         // QTYPE3: suffix of the tree path of a random valued node, plus
         // its value (non-empty by construction; no dereference since tree
         // paths never cross @attr reference edges).
-        let valued: Vec<(NodeId, String)> =
-            table.iter().map(|(n, v)| (n, v.to_string())).collect();
+        let valued: Vec<(NodeId, String)> = table.iter().map(|(n, v)| (n, v.to_string())).collect();
         let mut qtype3 = Vec::with_capacity(cfg.qtype3);
         if !valued.is_empty() {
             for _ in 0..cfg.qtype3 {
@@ -168,7 +170,13 @@ mod tests {
     use xmlgraph::builder::moviedb;
 
     fn cfg(seed: u64) -> GeneratorConfig {
-        GeneratorConfig { qtype1: 400, qtype2: 60, qtype3: 80, seed, ..Default::default() }
+        GeneratorConfig {
+            qtype1: 400,
+            qtype2: 60,
+            qtype3: 80,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -188,7 +196,14 @@ mod tests {
     fn simple_fraction_near_quarter() {
         let g = datagen_placeholder();
         let t = DataTable::build(&g, PageModel::default());
-        let qs = QuerySets::generate(&g, &t, GeneratorConfig { qtype1: 3000, ..cfg(3) });
+        let qs = QuerySets::generate(
+            &g,
+            &t,
+            GeneratorConfig {
+                qtype1: 3000,
+                ..cfg(3)
+            },
+        );
         // E[1/len] over this tree's path lengths is ~0.46; real datasets
         // with deeper paths land near the paper's 25 % (asserted in the
         // cross-crate integration tests).
@@ -222,7 +237,9 @@ mod tests {
         let t = DataTable::build(&g, PageModel::default());
         let qs = QuerySets::generate(&g, &t, cfg(5));
         for q in &qs.qtype2 {
-            let Query::AncestorDescendant { first, last } = q else { panic!() };
+            let Query::AncestorDescendant { first, last } = q else {
+                panic!()
+            };
             assert_ne!(first, last);
         }
     }

@@ -13,17 +13,21 @@
 //! rewriting pass must visit, while remaining cycle-safe, and its cost
 //! (index edges traversed) grows with index size — the effect Figures
 //! 13–15 show for irregular data.
+//!
+//! Extent reads, navigation I/O and table probes run through the shared
+//! operators in [`crate::exec`] over a cross-query buffer pool.
 
 use std::hash::Hash;
 
-use apex_storage::pages::PageCache;
-use apex_storage::{Cost, DataTable, PageModel};
+use apex_storage::bufmgr::{BufferHandle, Space};
+use apex_storage::DataTable;
 use dataguide::{DataGuide, DgNodeId};
 use oneindex::{BlockId, OneIndex};
 use xmlgraph::{LabelId, NodeId, XmlGraph};
 
 use crate::ast::Query;
 use crate::batch::{QueryOutput, QueryProcessor};
+use crate::exec::{self, DataProbe, ExecContext, ExtentScan, IndexNav};
 
 /// Abstraction over rooted path indexes whose nodes carry target-set
 /// extents (DataGuide, 1-index).
@@ -38,6 +42,13 @@ pub trait RootedIndex {
     fn extent(&self, id: Self::Id) -> &[NodeId];
     /// Stable numeric id for page accounting.
     fn id_u64(id: Self::Id) -> u64;
+    /// Inverse of [`RootedIndex::id_u64`] over the dense arena.
+    fn id_from_usize(i: usize) -> Self::Id;
+    /// Buffer-pool address space of this index's extents.
+    fn extent_space() -> Space;
+    /// Buffer-pool address space of this index's page-packed node
+    /// records.
+    fn node_space() -> Space;
     /// Number of index nodes (dense-state sizing).
     fn node_count_hint(&self) -> usize;
     /// Display name.
@@ -59,6 +70,15 @@ impl RootedIndex for DataGuide {
     }
     fn id_u64(id: DgNodeId) -> u64 {
         id.0 as u64
+    }
+    fn id_from_usize(i: usize) -> DgNodeId {
+        DgNodeId(i as u32)
+    }
+    fn extent_space() -> Space {
+        Space::GuideExtent
+    }
+    fn node_space() -> Space {
+        Space::GuideNode
     }
     fn node_count_hint(&self) -> usize {
         self.node_count()
@@ -84,6 +104,15 @@ impl RootedIndex for OneIndex {
     fn id_u64(id: BlockId) -> u64 {
         id.0 as u64
     }
+    fn id_from_usize(i: usize) -> BlockId {
+        BlockId(i as u32)
+    }
+    fn extent_space() -> Space {
+        Space::OneExtent
+    }
+    fn node_space() -> Space {
+        Space::OneNode
+    }
     fn node_count_hint(&self) -> usize {
         self.node_count()
     }
@@ -97,31 +126,62 @@ pub struct GuideProcessor<'a, I: RootedIndex> {
     g: &'a XmlGraph,
     index: &'a I,
     table: &'a DataTable,
-    pages: PageModel,
+    buf: BufferHandle,
+    /// Page-packed byte offsets of index-node records (16 bytes header +
+    /// 8 per edge): node `i` occupies `node_offsets[i]..node_offsets[i+1]`
+    /// of [`RootedIndex::node_space`].
+    node_offsets: Vec<u64>,
 }
 
 impl<'a, I: RootedIndex> GuideProcessor<'a, I> {
-    /// Creates a processor.
+    /// Creates a processor with a private (unbounded) buffer pool.
     pub fn new(g: &'a XmlGraph, index: &'a I, table: &'a DataTable) -> Self {
-        GuideProcessor { g, index, table, pages: PageModel::default() }
+        Self::with_buffer(g, index, table, BufferHandle::unbounded())
     }
 
-    /// Charges the first touch of index node `id`'s extent.
-    fn touch_extent(&self, id: I::Id, cache: &mut PageCache, cost: &mut Cost) {
-        let len = self.index.extent(id).len();
-        cost.extent_pairs += len as u64;
-        cache.charge_once(cost, I::id_u64(id), 4 * len, &self.pages);
+    /// Creates a processor charging against a shared buffer pool.
+    pub fn with_buffer(
+        g: &'a XmlGraph,
+        index: &'a I,
+        table: &'a DataTable,
+        buf: BufferHandle,
+    ) -> Self {
+        let node_offsets = exec::record_layout((0..index.node_count_hint()).map(|i| {
+            let mut n_edges = 0usize;
+            index.for_each_edge(I::id_from_usize(i), &mut |_, _| n_edges += 1);
+            16 + 8 * n_edges
+        }));
+        GuideProcessor {
+            g,
+            index,
+            table,
+            buf,
+            node_offsets,
+        }
+    }
+
+    /// Scans index node `id`'s extent through the pool.
+    fn scan_extent(&self, id: I::Id, ctx: &mut ExecContext<'_>) {
+        ExtentScan::nodes(I::extent_space(), I::id_u64(id), self.index.extent(id)).run(ctx);
+    }
+
+    /// Charges the first visit of index node `id`'s page-packed record.
+    fn nav_node(&self, id: I::Id, touched: &mut [bool], ctx: &mut ExecContext<'_>) {
+        let i = I::id_u64(id) as usize;
+        if !touched[i] {
+            touched[i] = true;
+            IndexNav {
+                space: I::node_space(),
+                bytes: self.node_offsets[i]..self.node_offsets[i + 1],
+            }
+            .run(ctx);
+        }
     }
 
     /// QTYPE1 `//labels`: bitmask fixpoint; bit `k` at a node means "the
     /// last `k` edge labels of some rooted path to this node equal
     /// `labels[..k]`".
-    fn eval_path(
-        &self,
-        labels: &[LabelId],
-        cache: &mut PageCache,
-        cost: &mut Cost,
-    ) -> Vec<NodeId> {
+    fn eval_path(&self, labels: &[LabelId], ctx: &mut ExecContext<'_>) -> Vec<NodeId> {
         let n = labels.len();
         assert!(n < 63, "query length bounded by generator");
         let full: u64 = 1 << n;
@@ -130,12 +190,7 @@ impl<'a, I: RootedIndex> GuideProcessor<'a, I> {
         // guides.
         let mut bits: Vec<u64> = vec![0; self.index.node_count_hint()];
         let mut collected: Vec<bool> = vec![false; self.index.node_count_hint()];
-        // Navigation I/O: index-node records are small and page-packed,
-        // so first touches accumulate bytes and convert to pages at the
-        // end (extents below keep per-object page rounding — they are
-        // separately allocated).
         let mut touched: Vec<bool> = vec![false; self.index.node_count_hint()];
-        let mut node_bytes = 0usize;
         let root = self.index.root();
         bits[I::id_u64(root) as usize] = 1;
         let mut work: Vec<(I::Id, u64)> = vec![(root, 1)];
@@ -143,10 +198,7 @@ impl<'a, I: RootedIndex> GuideProcessor<'a, I> {
 
         while let Some((node, delta)) = work.pop() {
             let mut pushes: Vec<(I::Id, u64)> = Vec::new();
-            let mut n_edges = 0usize;
             self.index.for_each_edge(node, &mut |l, child| {
-                n_edges += 1;
-                cost.index_edges += 1;
                 let mut next = 1u64; // restart state is always live
                 for (k, &lab) in labels.iter().enumerate() {
                     if delta & (1 << k) != 0 && lab == l {
@@ -155,11 +207,8 @@ impl<'a, I: RootedIndex> GuideProcessor<'a, I> {
                 }
                 pushes.push((child, next));
             });
-            let t = &mut touched[I::id_u64(node) as usize];
-            if !*t {
-                *t = true;
-                node_bytes += 16 + 8 * n_edges;
-            }
+            ctx.nav_edges(pushes.len() as u64);
+            self.nav_node(node, &mut touched, ctx);
             for (child, next) in pushes {
                 let slot = &mut bits[I::id_u64(child) as usize];
                 let fresh = next & !*slot;
@@ -170,13 +219,12 @@ impl<'a, I: RootedIndex> GuideProcessor<'a, I> {
                 let seen = &mut collected[I::id_u64(child) as usize];
                 if fresh & full != 0 && !*seen {
                     *seen = true;
-                    self.touch_extent(child, cache, cost);
+                    self.scan_extent(child, ctx);
                     out.extend_from_slice(self.index.extent(child));
                 }
                 work.push((child, fresh));
             }
         }
-        cost.pages_read += self.pages.pages_for_bytes(node_bytes);
         self.g.sort_doc_order(&mut out);
         out
     }
@@ -187,13 +235,11 @@ impl<'a, I: RootedIndex> GuideProcessor<'a, I> {
         &self,
         first: LabelId,
         last: LabelId,
-        cache: &mut PageCache,
-        cost: &mut Cost,
+        ctx: &mut ExecContext<'_>,
     ) -> Vec<NodeId> {
         let mut bits: Vec<u8> = vec![0; self.index.node_count_hint()];
         let mut collected: Vec<bool> = vec![false; self.index.node_count_hint()];
         let mut touched: Vec<bool> = vec![false; self.index.node_count_hint()];
-        let mut node_bytes = 0usize;
         let root = self.index.root();
         bits[I::id_u64(root) as usize] = 0b01; // bit0: initial; bit1: inside l_i
         let mut work: Vec<(I::Id, u8)> = vec![(root, 0b01)];
@@ -201,10 +247,7 @@ impl<'a, I: RootedIndex> GuideProcessor<'a, I> {
 
         while let Some((node, delta)) = work.pop() {
             let mut pushes: Vec<(I::Id, u8, bool)> = Vec::new();
-            let mut n_edges = 0usize;
             self.index.for_each_edge(node, &mut |l, child| {
-                n_edges += 1;
-                cost.index_edges += 1;
                 let mut next = 0u8;
                 if delta & 0b01 != 0 {
                     next |= 0b01;
@@ -220,16 +263,13 @@ impl<'a, I: RootedIndex> GuideProcessor<'a, I> {
                 let hit = delta & 0b10 != 0 && l == last;
                 pushes.push((child, next, hit));
             });
-            let t = &mut touched[I::id_u64(node) as usize];
-            if !*t {
-                *t = true;
-                node_bytes += 16 + 8 * n_edges;
-            }
+            ctx.nav_edges(pushes.len() as u64);
+            self.nav_node(node, &mut touched, ctx);
             for (child, next, hit) in pushes {
                 let seen = &mut collected[I::id_u64(child) as usize];
                 if hit && !*seen {
                     *seen = true;
-                    self.touch_extent(child, cache, cost);
+                    self.scan_extent(child, ctx);
                     out.extend_from_slice(self.index.extent(child));
                 }
                 let slot = &mut bits[I::id_u64(child) as usize];
@@ -241,7 +281,6 @@ impl<'a, I: RootedIndex> GuideProcessor<'a, I> {
                 work.push((child, fresh));
             }
         }
-        cost.pages_read += self.pages.pages_for_bytes(node_bytes);
         self.g.sort_doc_order(&mut out);
         out
     }
@@ -253,20 +292,33 @@ impl<I: RootedIndex> QueryProcessor for GuideProcessor<'_, I> {
     }
 
     fn eval(&self, q: &Query) -> QueryOutput {
-        let mut cost = Cost::new();
-        let mut cache = PageCache::new();
+        let mut ctx = ExecContext::new(&self.buf);
         let nodes = match q {
-            Query::PartialPath { labels } => self.eval_path(labels, &mut cache, &mut cost),
+            Query::PartialPath { labels } => self.eval_path(labels, &mut ctx),
             Query::AncestorDescendant { first, last } => {
-                self.eval_anc_desc(*first, *last, &mut cache, &mut cost)
+                self.eval_anc_desc(*first, *last, &mut ctx)
             }
             Query::ValuePath { labels, value } => {
-                let mut nodes = self.eval_path(labels, &mut cache, &mut cost);
-                nodes.retain(|&n| self.table.probe(n, value, &mut cost));
+                let mut nodes = self.eval_path(labels, &mut ctx);
+                nodes.retain(|&n| {
+                    DataProbe {
+                        table: self.table,
+                        nid: n,
+                        value,
+                    }
+                    .run(&mut ctx)
+                });
                 nodes
             }
         };
-        QueryOutput { nodes, cost }
+        QueryOutput {
+            nodes,
+            cost: ctx.finish(),
+        }
+    }
+
+    fn buffer(&self) -> Option<&BufferHandle> {
+        Some(&self.buf)
     }
 }
 
@@ -274,11 +326,14 @@ impl<I: RootedIndex> QueryProcessor for GuideProcessor<'_, I> {
 mod tests {
     use super::*;
     use crate::naive::NaiveProcessor;
+    use apex_storage::PageModel;
     use xmlgraph::builder::moviedb;
     use xmlgraph::LabelPath;
 
     fn q1(g: &XmlGraph, p: &str) -> Query {
-        Query::PartialPath { labels: LabelPath::parse(g, p).unwrap().0 }
+        Query::PartialPath {
+            labels: LabelPath::parse(g, p).unwrap().0,
+        }
     }
 
     #[test]
@@ -354,5 +409,20 @@ mod tests {
         let q = q1(&g, "actor.name");
         let out = gp.eval(&q);
         assert!(out.cost.index_edges >= dg.edge_count() as u64);
+    }
+
+    #[test]
+    fn navigation_io_is_pooled_across_queries() {
+        let g = moviedb();
+        let dg = DataGuide::build(&g);
+        let t = DataTable::build(&g, PageModel::default());
+        let gp = GuideProcessor::new(&g, &dg, &t);
+        let q = q1(&g, "actor.name");
+        let cold = gp.eval(&q);
+        assert!(cold.cost.pages_read >= 1);
+        let warm = gp.eval(&q);
+        assert_eq!(warm.cost.pages_read, 0, "warm run must hit the pool");
+        // Navigation work is unchanged — only the I/O is cached.
+        assert_eq!(warm.cost.index_edges, cold.cost.index_edges);
     }
 }

@@ -18,6 +18,10 @@
 //!   traversal);
 //! * [`naive`] — a direct graph-traversal evaluator used as the
 //!   correctness oracle for every other processor;
+//! * [`exec`] — the shared physical execution layer (extent scans,
+//!   unions, semijoins, table probes) every processor evaluates
+//!   through, charging a cross-query buffer pool and attributing cost
+//!   per operator;
 //! * [`batch`] — batch runner collecting wall time + logical costs per
 //!   query set (the unit Figures 13–15 report).
 
@@ -27,6 +31,7 @@
 pub mod apex_qp;
 pub mod ast;
 pub mod batch;
+pub mod exec;
 pub mod explain;
 pub mod fabric_qp;
 pub mod generator;
@@ -35,5 +40,6 @@ pub mod naive;
 
 pub use ast::Query;
 pub use batch::{run_batch, run_batch_parallel, BatchStats, QueryOutput, QueryProcessor};
+pub use exec::ExecContext;
 pub use explain::{explain_apex, Plan, SegmentPlan};
 pub use generator::{GeneratorConfig, QuerySets};

@@ -7,6 +7,160 @@
 use std::fmt;
 use std::ops::AddAssign;
 
+/// The physical operators of the shared execution layer, used as keys
+/// of the per-operator cost breakdown (see `apex-query`'s `exec`
+/// module for the operator semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Materializing one stored extent.
+    ExtentScan,
+    /// Scanning and merging several extents into one edge set.
+    ExtentUnion,
+    /// Semijoin via binary-searched range probes into a sorted extent.
+    SemijoinProbe,
+    /// Semijoin via a linear merge with a sorted extent.
+    SemijoinMerge,
+    /// The QTYPE1 join chain (composite; inner work attributes to the
+    /// union/semijoin operators it drives).
+    MultiwayJoin,
+    /// One data-table value probe (QTYPE3).
+    DataProbe,
+    /// Index-graph navigation (automaton products, dataflow fixpoints).
+    IndexNav,
+    /// Patricia-trie key search / traversal (Index Fabric).
+    TrieSearch,
+}
+
+impl OpKind {
+    /// Every operator, in display order.
+    pub const ALL: [OpKind; 8] = [
+        OpKind::ExtentScan,
+        OpKind::ExtentUnion,
+        OpKind::SemijoinProbe,
+        OpKind::SemijoinMerge,
+        OpKind::MultiwayJoin,
+        OpKind::DataProbe,
+        OpKind::IndexNav,
+        OpKind::TrieSearch,
+    ];
+
+    /// Operator name as shown by `explain` and the shell.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::ExtentScan => "ExtentScan",
+            OpKind::ExtentUnion => "ExtentUnion",
+            OpKind::SemijoinProbe => "SemijoinProbe",
+            OpKind::SemijoinMerge => "SemijoinMerge",
+            OpKind::MultiwayJoin => "MultiwayJoin",
+            OpKind::DataProbe => "DataProbe",
+            OpKind::IndexNav => "IndexNav",
+            OpKind::TrieSearch => "TrieSearch",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            OpKind::ExtentScan => 0,
+            OpKind::ExtentUnion => 1,
+            OpKind::SemijoinProbe => 2,
+            OpKind::SemijoinMerge => 3,
+            OpKind::MultiwayJoin => 4,
+            OpKind::DataProbe => 5,
+            OpKind::IndexNav => 6,
+            OpKind::TrieSearch => 7,
+        }
+    }
+}
+
+/// Counter deltas attributed to one operator kind.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpCost {
+    /// Operator invocations.
+    pub invocations: u64,
+    /// Scalar counter deltas, in [`Cost::scalars`] order.
+    pub scalars: [u64; 8],
+}
+
+impl OpCost {
+    /// Pages read by this operator.
+    pub fn pages_read(&self) -> u64 {
+        self.scalars[5]
+    }
+
+    /// Join comparisons performed by this operator.
+    pub fn join_work(&self) -> u64 {
+        self.scalars[3]
+    }
+
+    /// Extent pairs read by this operator.
+    pub fn extent_pairs(&self) -> u64 {
+        self.scalars[2]
+    }
+}
+
+/// Per-operator attribution of the scalar counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpBreakdown {
+    per_op: [OpCost; 8],
+}
+
+impl OpBreakdown {
+    /// Records `delta` (and one invocation if `invoked`) against `kind`.
+    pub fn record(&mut self, kind: OpKind, invoked: bool, delta: [u64; 8]) {
+        let slot = &mut self.per_op[kind.idx()];
+        if invoked {
+            slot.invocations += 1;
+        }
+        for (acc, d) in slot.scalars.iter_mut().zip(delta) {
+            *acc += d;
+        }
+    }
+
+    /// The accumulated cost of one operator kind.
+    pub fn get(&self, kind: OpKind) -> &OpCost {
+        &self.per_op[kind.idx()]
+    }
+
+    /// Iterates `(kind, cost)` over operators that did any work.
+    pub fn active(&self) -> impl Iterator<Item = (OpKind, &OpCost)> {
+        OpKind::ALL
+            .iter()
+            .map(|&k| (k, &self.per_op[k.idx()]))
+            .filter(|(_, c)| c.invocations != 0 || c.scalars.iter().any(|&s| s != 0))
+    }
+
+    /// Multi-line table of the active operators, for `explain`/shell
+    /// output. Empty string when no operator ran.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (kind, c) in self.active() {
+            s.push_str(&format!(
+                "  {:<14} calls={:<6} pages={:<8} pairs={:<10} join_work={:<10} join_out={:<8} probes={}\n",
+                kind.name(),
+                c.invocations,
+                c.scalars[5],
+                c.scalars[2],
+                c.scalars[3],
+                c.scalars[4],
+                c.scalars[6],
+            ));
+        }
+        s
+    }
+}
+
+impl AddAssign for OpBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        for (a, b) in self.per_op.iter_mut().zip(rhs.per_op) {
+            a.invocations += b.invocations;
+            for (x, y) in a.scalars.iter_mut().zip(b.scalars) {
+                *x += y;
+            }
+        }
+    }
+}
+
 /// Counters accumulated while evaluating queries.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Cost {
@@ -27,12 +181,32 @@ pub struct Cost {
     pub table_probes: u64,
     /// Patricia-trie / index-block node visits (Index Fabric).
     pub trie_nodes: u64,
+    /// Per-operator attribution of the scalar counters above (filled by
+    /// the execution layer; excluded from [`Cost::total`]).
+    pub ops: OpBreakdown,
 }
 
 impl Cost {
     /// Zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The scalar counters as an array, in the documented order:
+    /// `[index_edges, hash_lookups, extent_pairs, join_work,
+    /// join_output, pages_read, table_probes, trie_nodes]`. Used to
+    /// diff snapshots for per-operator attribution.
+    pub fn scalars(&self) -> [u64; 8] {
+        [
+            self.index_edges,
+            self.hash_lookups,
+            self.extent_pairs,
+            self.join_work,
+            self.join_output,
+            self.pages_read,
+            self.table_probes,
+            self.trie_nodes,
+        ]
     }
 
     /// Sum of all counters — a crude single-number "logical cost" used for
@@ -64,6 +238,7 @@ impl AddAssign for Cost {
         self.pages_read += rhs.pages_read;
         self.table_probes += rhs.table_probes;
         self.trie_nodes += rhs.trie_nodes;
+        self.ops += rhs.ops;
     }
 }
 
@@ -90,8 +265,16 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = Cost { index_edges: 1, pages_read: 2, ..Cost::new() };
-        let b = Cost { index_edges: 10, join_work: 5, ..Cost::new() };
+        let mut a = Cost {
+            index_edges: 1,
+            pages_read: 2,
+            ..Cost::new()
+        };
+        let b = Cost {
+            index_edges: 10,
+            join_work: 5,
+            ..Cost::new()
+        };
         a += b;
         assert_eq!(a.index_edges, 11);
         assert_eq!(a.join_work, 5);
@@ -109,10 +292,37 @@ mod tests {
             pages_read: 6,
             table_probes: 7,
             trie_nodes: 8,
+            ..Cost::new()
         };
         assert_eq!(c.total(), 36);
         let mut c2 = c;
         c2.reset();
         assert_eq!(c2.total(), 0);
+    }
+
+    #[test]
+    fn breakdown_records_and_accumulates() {
+        let mut a = Cost::new();
+        a.ops
+            .record(OpKind::SemijoinProbe, true, [0, 0, 10, 4, 2, 1, 0, 0]);
+        a.ops
+            .record(OpKind::SemijoinProbe, true, [0, 0, 5, 1, 1, 0, 0, 0]);
+        let mut b = Cost::new();
+        b.ops
+            .record(OpKind::DataProbe, true, [0, 0, 0, 0, 0, 2, 1, 0]);
+        a += b;
+        let sj = a.ops.get(OpKind::SemijoinProbe);
+        assert_eq!(sj.invocations, 2);
+        assert_eq!(sj.extent_pairs(), 15);
+        assert_eq!(sj.join_work(), 5);
+        assert_eq!(sj.pages_read(), 1);
+        assert_eq!(a.ops.get(OpKind::DataProbe).invocations, 1);
+        assert_eq!(a.ops.active().count(), 2);
+        let table = a.ops.render();
+        assert!(table.contains("SemijoinProbe"));
+        assert!(table.contains("DataProbe"));
+        assert!(!table.contains("TrieSearch"));
+        // The breakdown never leaks into the scalar total.
+        assert_eq!(a.total(), 0);
     }
 }

@@ -35,8 +35,17 @@ impl DataTable {
             }
         }
         entries.sort_by_key(|(n, _)| *n);
-        let avg_entry_bytes = if entries.is_empty() { 16 } else { bytes / entries.len() };
-        DataTable { entries, by_value, pages, avg_entry_bytes }
+        let avg_entry_bytes = if entries.is_empty() {
+            16
+        } else {
+            bytes / entries.len()
+        };
+        DataTable {
+            entries,
+            by_value,
+            pages,
+            avg_entry_bytes,
+        }
     }
 
     /// Number of entries.
@@ -64,9 +73,37 @@ impl DataTable {
         self.value(nid) == Some(expected)
     }
 
+    /// [`DataTable::probe`] through a shared buffer pool: the descent
+    /// touches the root page plus the leaf page holding `nid`'s slot, so
+    /// repeated probes of a hot region hit the pool instead of
+    /// re-charging the logarithmic descent every time.
+    pub fn probe_buffered(
+        &self,
+        buf: &crate::bufmgr::BufferHandle,
+        cost: &mut Cost,
+        nid: NodeId,
+        expected: &str,
+    ) -> bool {
+        use crate::bufmgr::{ObjectId, Space};
+        cost.table_probes += 1;
+        // Leaf slot even on a miss: binary_search's Err carries the
+        // insertion point, which lives on the page a real probe reads.
+        let slot = match self.entries.binary_search_by_key(&nid, |(n, _)| *n) {
+            Ok(i) => i,
+            Err(i) => i.min(self.entries.len().saturating_sub(1)),
+        };
+        let leaf = (slot * self.avg_entry_bytes) / self.pages.page_size.max(1);
+        cost.pages_read += buf.touch(ObjectId::new(Space::TablePage, u64::MAX), 0);
+        cost.pages_read += buf.touch(ObjectId::new(Space::TablePage, leaf as u64), 0);
+        self.value(nid) == Some(expected)
+    }
+
     /// Nodes carrying `value` (uncosted; used by the workload generator).
     pub fn nodes_with_value(&self, value: &str) -> &[NodeId] {
-        self.by_value.get(value).map(|v| v.as_slice()).unwrap_or(&[])
+        self.by_value
+            .get(value)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Iterates over `(nid, value)` in nid order.
@@ -100,6 +137,24 @@ mod tests {
         assert!(!t.probe(NodeId(0), "x", &mut c));
         assert_eq!(c.table_probes, 3);
         assert!(c.pages_read >= 3);
+    }
+
+    #[test]
+    fn buffered_probe_hits_pool_on_repeats() {
+        let g = moviedb();
+        let t = DataTable::build(&g, PageModel::default());
+        let buf = crate::bufmgr::BufferHandle::unbounded();
+        let mut c = Cost::new();
+        assert!(t.probe_buffered(&buf, &mut c, NodeId(10), "Star Wars"));
+        let first_pages = c.pages_read;
+        assert!(first_pages >= 1);
+        assert!(!t.probe_buffered(&buf, &mut c, NodeId(10), "Jaws"));
+        // Same root and leaf pages: the second probe reads nothing new.
+        assert_eq!(c.pages_read, first_pages);
+        assert_eq!(c.table_probes, 2);
+        assert!(buf.stats().hits >= 1);
+        // Probing a nid without a value must not read past the table.
+        assert!(!t.probe_buffered(&buf, &mut c, NodeId(0), "x"));
     }
 
     #[test]

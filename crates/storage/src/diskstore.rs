@@ -86,14 +86,20 @@ impl ExtentStore {
         self.file.seek(SeekFrom::Start(offset))?;
         let mut buf = vec![0u8; pairs as usize * 8];
         self.file.read_exact(&mut buf)?;
-        self.pages_read
-            .fetch_add(self.model.pages_for_bytes(buf.len()).max(1), Ordering::Relaxed);
+        self.pages_read.fetch_add(
+            self.model.pages_for_bytes(buf.len()).max(1),
+            Ordering::Relaxed,
+        );
         let mut out = Vec::with_capacity(pairs as usize);
         for chunk in buf.chunks_exact(8) {
             let parent = u32::from_le_bytes(chunk[..4].try_into().expect("4 bytes"));
             let node = u32::from_le_bytes(chunk[4..].try_into().expect("4 bytes"));
             out.push(EdgePair::new(
-                if parent == u32::MAX { NULL_NODE } else { NodeId(parent) },
+                if parent == u32::MAX {
+                    NULL_NODE
+                } else {
+                    NodeId(parent)
+                },
                 NodeId(node),
             ));
         }
@@ -175,7 +181,9 @@ mod tests {
         let mut store = ExtentStore::create(&path, model).unwrap();
         // 1000 pairs = 8000 bytes = 2 pages at 4 KiB.
         let big = EdgeSet::from_pairs(
-            (0..1000).map(|i| EdgePair::new(NodeId(i), NodeId(i + 1))).collect(),
+            (0..1000)
+                .map(|i| EdgePair::new(NodeId(i), NodeId(i + 1)))
+                .collect(),
         );
         let id = store.append(&big).unwrap();
         assert_eq!(store.pages_written(), 2);

@@ -22,7 +22,10 @@ impl EdgePair {
     /// The `<NULL, root>` pair.
     #[inline]
     pub fn root(root: NodeId) -> Self {
-        EdgePair { parent: NULL_NODE, node: root }
+        EdgePair {
+            parent: NULL_NODE,
+            node: root,
+        }
     }
 }
 
@@ -214,9 +217,7 @@ impl EdgeSet {
         for &e in ends {
             probes += 1;
             // Find the start of the `parent == e` range in pairs[lo..].
-            let start = lo
-                + self.pairs[lo..]
-                    .partition_point(|p| p.parent < e);
+            let start = lo + self.pairs[lo..].partition_point(|p| p.parent < e);
             let mut i = start;
             while i < self.pairs.len() && self.pairs[i].parent == e {
                 out.push(self.pairs[i]);

@@ -14,6 +14,10 @@
 //! * [`pages::PageModel`] — an 8 KiB page model that converts extent scans
 //!   and data-table probes into page reads (the Index Fabric block size
 //!   used in §6.1);
+//! * [`bufmgr::BufferManager`] — a cross-query LRU buffer pool over
+//!   extents, node-record pages, data-table pages and trie blocks, with
+//!   hit/miss/eviction counters ([`pages::PageCache`] is its degenerate
+//!   per-query policy);
 //! * [`datatable::DataTable`] — the `nid → value` table used by QTYPE3
 //!   queries;
 //! * [`diskstore::ExtentStore`] — a real file-backed, page-aligned
@@ -22,14 +26,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bufmgr;
 pub mod cost;
 pub mod datatable;
 pub mod diskstore;
 pub mod edgeset;
 pub mod pages;
 
-pub use cost::Cost;
+pub use bufmgr::{BufferHandle, BufferManager, BufferStats, ObjectId, Space};
+pub use cost::{Cost, OpBreakdown, OpCost, OpKind};
 pub use datatable::DataTable;
-pub use edgeset::{EdgePair, EdgeSet};
 pub use diskstore::{ExtentId, ExtentStore};
+pub use edgeset::{EdgePair, EdgeSet};
 pub use pages::PageModel;

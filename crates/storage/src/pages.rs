@@ -18,7 +18,9 @@ pub const DEFAULT_PAGE_SIZE: usize = 8 * 1024;
 
 impl Default for PageModel {
     fn default() -> Self {
-        PageModel { page_size: DEFAULT_PAGE_SIZE }
+        PageModel {
+            page_size: DEFAULT_PAGE_SIZE,
+        }
     }
 }
 
@@ -77,27 +79,41 @@ impl PageModel {
 /// node, a table segment) is charged its pages once per query; repeated
 /// touches hit the cache. Mirrors the paper's environment, where indexes
 /// live on disk but a query's working set fits in RAM.
-#[derive(Debug, Default)]
+///
+/// This is the *degenerate policy* of [`crate::bufmgr::BufferManager`]:
+/// an unbounded pool whose lifetime is a single query. Query processors
+/// now run on the cross-query manager through the execution layer; this
+/// type remains for callers that want the paper's original per-query
+/// accounting.
+#[derive(Debug)]
 pub struct PageCache {
-    seen: std::collections::HashSet<u64>,
+    pool: crate::bufmgr::BufferManager,
+}
+
+impl Default for PageCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PageCache {
     /// Fresh cache (create one per query).
     pub fn new() -> Self {
-        Self::default()
+        PageCache {
+            pool: crate::bufmgr::BufferManager::unbounded(PageModel::default()),
+        }
     }
 
     /// Charges the pages of object `id` (`bytes` large) on first touch.
     pub fn charge_once(&mut self, cost: &mut Cost, id: u64, bytes: usize, model: &PageModel) {
-        if self.seen.insert(id) {
-            cost.pages_read += model.pages_for_bytes(bytes).max(1);
-        }
+        let pages = model.pages_for_bytes(bytes).max(1);
+        let id = crate::bufmgr::ObjectId::new(crate::bufmgr::Space::Raw, id);
+        cost.pages_read += self.pool.touch_pages(id, pages);
     }
 
     /// Number of distinct objects touched.
     pub fn objects(&self) -> usize {
-        self.seen.len()
+        self.pool.objects()
     }
 }
 

@@ -43,7 +43,15 @@ impl Fixture {
         let oneindex = OneIndex::build(&g);
         let fabric = IndexFabric::build(&g);
         let queries = QuerySets::generate(&g, &table, cfg);
-        Fixture { table, apex0, sdg, oneindex, fabric, queries, g }
+        Fixture {
+            table,
+            apex0,
+            sdg,
+            oneindex,
+            fabric,
+            queries,
+            g,
+        }
     }
 
     /// A refined APEX at the given `min_sup`, built from `APEX⁰` with the

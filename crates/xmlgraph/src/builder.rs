@@ -134,7 +134,10 @@ impl GraphBuilder {
                 });
             };
             let tag = self.tags[target.idx()];
-            self.out[attr_node.idx()].push(Edge { label: tag, to: target });
+            self.out[attr_node.idx()].push(Edge {
+                label: tag,
+                to: target,
+            });
             self.edge_count += 1;
         }
         self.idref_label_set.sort_unstable();
@@ -258,7 +261,11 @@ pub struct RawGraphBuilder {
 impl RawGraphBuilder {
     /// Creates an empty raw builder.
     pub fn new() -> Self {
-        RawGraphBuilder { labels: Interner::new(), nodes: Vec::new(), edges: Vec::new() }
+        RawGraphBuilder {
+            labels: Interner::new(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Declares node `nid` with `tag`, optional tree parent, and value.
@@ -297,7 +304,10 @@ impl RawGraphBuilder {
         let edge_count = self.edges.len();
         for (from, label, to) in self.edges {
             assert!((to as usize) < out.len(), "edge to undeclared node {to}");
-            out[from as usize].push(Edge { label, to: NodeId(to) });
+            out[from as usize].push(Edge {
+                label,
+                to: NodeId(to),
+            });
         }
         let mut idrefs: Vec<LabelId> = idref_labels
             .iter()
@@ -399,7 +409,10 @@ mod tests {
     fn moviedb_matches_paper_name_extent() {
         let g = moviedb();
         // T(name) = {<2,3>, <4,5>, <7,11>, <12,13>}
-        assert_eq!(edge_set(&g, "name"), vec![(2, 3), (4, 5), (7, 11), (12, 13)]);
+        assert_eq!(
+            edge_set(&g, "name"),
+            vec![(2, 3), (4, 5), (7, 11), (12, 13)]
+        );
     }
 
     #[test]
@@ -410,9 +423,18 @@ mod tests {
         let title = g.label_id("title").unwrap();
         let name = g.label_id("name").unwrap();
         let n7 = NodeId(7);
-        assert!(g.out_edges(n7).iter().any(|e| e.label == movie && e.to == NodeId(8)));
-        assert!(g.out_edges(NodeId(8)).iter().any(|e| e.label == title && e.to == NodeId(10)));
-        assert!(g.out_edges(n7).iter().any(|e| e.label == name && e.to == NodeId(11)));
+        assert!(g
+            .out_edges(n7)
+            .iter()
+            .any(|e| e.label == movie && e.to == NodeId(8)));
+        assert!(g
+            .out_edges(NodeId(8))
+            .iter()
+            .any(|e| e.label == title && e.to == NodeId(10)));
+        assert!(g
+            .out_edges(n7)
+            .iter()
+            .any(|e| e.label == name && e.to == NodeId(11)));
     }
 
     #[test]
@@ -441,8 +463,7 @@ mod tests {
     #[test]
     fn moviedb_idref_labels() {
         let g = moviedb();
-        let mut names: Vec<&str> =
-            g.idref_labels().iter().map(|l| g.label_str(*l)).collect();
+        let mut names: Vec<&str> = g.idref_labels().iter().map(|l| g.label_str(*l)).collect();
         names.sort_unstable();
         assert_eq!(names, vec!["@actor", "@director", "@movie"]);
     }

@@ -17,7 +17,11 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { show_values: true, max_nodes: 500, name: "gxml".into() }
+        DotOptions {
+            show_values: true,
+            max_nodes: 500,
+            name: "gxml".into(),
+        }
     }
 }
 
@@ -40,7 +44,11 @@ pub fn to_dot(g: &XmlGraph, opts: &DotOptions) -> String {
         if from.idx() >= limit || to.idx() >= limit {
             continue;
         }
-        let style = if g.tree_parent(to) == from { "solid" } else { "dashed" };
+        let style = if g.tree_parent(to) == from {
+            "solid"
+        } else {
+            "dashed"
+        };
         let _ = writeln!(
             out,
             "  n{} -> n{} [label=\"{}\", style={}];",
@@ -79,7 +87,13 @@ mod tests {
     #[test]
     fn max_nodes_caps_output() {
         let g = moviedb();
-        let dot = to_dot(&g, &DotOptions { max_nodes: 3, ..DotOptions::default() });
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                max_nodes: 3,
+                ..DotOptions::default()
+            },
+        );
         assert!(!dot.contains("n17"));
     }
 
@@ -96,7 +110,13 @@ mod tests {
     #[test]
     fn hide_values() {
         let g = moviedb();
-        let dot = to_dot(&g, &DotOptions { show_values: false, ..DotOptions::default() });
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                show_values: false,
+                ..DotOptions::default()
+            },
+        );
         assert!(!dot.contains("Star Wars"));
     }
 }

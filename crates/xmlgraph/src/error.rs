@@ -22,7 +22,10 @@ pub enum BuildError {
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::UnresolvedRef { attr_node, target_id } => write!(
+            BuildError::UnresolvedRef {
+                attr_node,
+                target_id,
+            } => write!(
                 f,
                 "attribute node {attr_node} references undeclared id `{target_id}`"
             ),
@@ -46,7 +49,11 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(line: u32, col: u32, msg: impl Into<String>) -> Self {
-        ParseError { line, col, msg: msg.into() }
+        ParseError {
+            line,
+            col,
+            msg: msg.into(),
+        }
     }
 }
 

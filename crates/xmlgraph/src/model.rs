@@ -165,9 +165,10 @@ impl XmlGraph {
 
     /// Iterates over all edges as `(from, label, to)` triples.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, LabelId, NodeId)> + '_ {
-        self.out.iter().enumerate().flat_map(|(from, es)| {
-            es.iter().map(move |e| (NodeId(from as u32), e.label, e.to))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(from, es)| es.iter().map(move |e| (NodeId(from as u32), e.label, e.to)))
     }
 
     /// Sorts node ids by document order and removes duplicates — the

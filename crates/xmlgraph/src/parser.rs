@@ -58,7 +58,13 @@ struct Frame {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str, cfg: &'a ParserConfig) -> Self {
-        Parser { bytes: input.as_bytes(), pos: 0, line: 1, col: 1, cfg }
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            cfg,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -271,7 +277,11 @@ impl<'a> Parser<'a> {
                     }
                     let text = std::str::from_utf8(&self.bytes[start..self.pos])
                         .expect("input was valid utf-8");
-                    stack.last_mut().expect("inside element").text.push_str(text);
+                    stack
+                        .last_mut()
+                        .expect("inside element")
+                        .text
+                        .push_str(text);
                     self.consume_str("]]>");
                 } else if self.starts_with("<?") {
                     self.consume_str("<?");
@@ -322,7 +332,11 @@ impl<'a> Parser<'a> {
                 let raw = std::str::from_utf8(&self.bytes[start..self.pos])
                     .expect("input was valid utf-8");
                 let text = decode_entities(raw, self)?;
-                stack.last_mut().expect("inside element").text.push_str(&text);
+                stack
+                    .last_mut()
+                    .expect("inside element")
+                    .text
+                    .push_str(&text);
             }
         }
         Err(self.err("unexpected end of input inside element"))

@@ -53,7 +53,10 @@ impl LabelPath {
         if self.0.len() > other.0.len() {
             return false;
         }
-        other.0.windows(self.0.len()).any(|w| w == self.0.as_slice())
+        other
+            .0
+            .windows(self.0.len())
+            .any(|w| w == self.0.as_slice())
     }
 
     /// Definition 5: true if `self` is a suffix of `other`.
@@ -96,7 +99,10 @@ pub struct EnumLimits {
 
 impl Default for EnumLimits {
     fn default() -> Self {
-        EnumLimits { max_len: 12, max_paths: 200_000 }
+        EnumLimits {
+            max_len: 12,
+            max_paths: 200_000,
+        }
     }
 }
 
@@ -223,9 +229,21 @@ mod tests {
     #[test]
     fn limits_bound_enumeration() {
         let g = moviedb();
-        let paths = rooted_label_paths(&g, EnumLimits { max_len: 1, max_paths: 100 });
+        let paths = rooted_label_paths(
+            &g,
+            EnumLimits {
+                max_len: 1,
+                max_paths: 100,
+            },
+        );
         assert!(paths.iter().all(|p| p.len() == 1));
-        let capped = rooted_label_paths(&g, EnumLimits { max_len: 12, max_paths: 3 });
+        let capped = rooted_label_paths(
+            &g,
+            EnumLimits {
+                max_len: 12,
+                max_paths: 3,
+            },
+        );
         assert_eq!(capped.len(), 3);
     }
 

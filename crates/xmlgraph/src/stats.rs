@@ -67,8 +67,7 @@ impl GraphStats {
         let avg_fanout = if inner.is_empty() {
             0.0
         } else {
-            inner.iter().map(|&n| g.out_edges(n).len()).sum::<usize>() as f64
-                / inner.len() as f64
+            inner.iter().map(|&n| g.out_edges(n).len()).sum::<usize>() as f64 / inner.len() as f64
         };
 
         let distinct_rooted_paths = rooted_label_paths(g, limits).len();
@@ -167,7 +166,10 @@ pub fn check_invariants(g: &XmlGraph) -> Vec<String> {
             continue;
         }
         if !g.out_edges(p).iter().any(|e| e.to == node) {
-            problems.push(format!("tree edge {}->{} missing from adjacency", p.0, node.0));
+            problems.push(format!(
+                "tree edge {}->{} missing from adjacency",
+                p.0, node.0
+            ));
         }
     }
     problems

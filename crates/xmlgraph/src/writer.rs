@@ -48,12 +48,7 @@ fn emit(g: &XmlGraph, n: NodeId, ref_targets: &HashSet<NodeId>, out: &mut String
             if let Some(ref_edge) = g.out_edges(e.to).first() {
                 let _ = write!(out, " {}=\"n{}\"", name, ref_edge.to.0);
             } else {
-                let _ = write!(
-                    out,
-                    " {}=\"{}\"",
-                    name,
-                    escape(g.value(e.to).unwrap_or(""))
-                );
+                let _ = write!(out, " {}=\"{}\"", name, escape(g.value(e.to).unwrap_or("")));
             }
         } else if g.tree_parent(e.to) == n {
             children.push(e.to);
@@ -121,7 +116,12 @@ mod tests {
     fn cfg() -> ParserConfig {
         ParserConfig {
             id_attrs: vec!["id".into()],
-            idref_attrs: vec!["movie".into(), "actor".into(), "director".into(), "ref".into()],
+            idref_attrs: vec![
+                "movie".into(),
+                "actor".into(),
+                "director".into(),
+                "ref".into(),
+            ],
         }
     }
 

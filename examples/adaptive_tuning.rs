@@ -9,8 +9,8 @@
 //! ```
 
 use apex::{Apex, Workload};
-use apex_query::batch::{run_batch, QueryProcessor};
 use apex_query::apex_qp::ApexProcessor;
+use apex_query::batch::{run_batch, QueryProcessor};
 use apex_query::naive::NaiveProcessor;
 use apex_query::Query;
 use apex_storage::{DataTable, PageModel};
@@ -28,7 +28,9 @@ fn workload(g: &xmlgraph::XmlGraph, paths: &[&str], reps: usize) -> Workload {
 
 fn queries_of(wl: &Workload) -> Vec<Query> {
     wl.iter()
-        .map(|p| Query::PartialPath { labels: p.labels().to_vec() })
+        .map(|p| Query::PartialPath {
+            labels: p.labels().to_vec(),
+        })
         .collect()
 }
 
@@ -36,18 +38,36 @@ fn main() {
     let g = datagen::shakespeare(3, 1601);
     let table = DataTable::build(&g, PageModel::default());
     let naive = NaiveProcessor::new(&g, &table);
-    println!("corpus: {} nodes, {} labels", g.node_count(), g.label_count());
+    println!(
+        "corpus: {} nodes, {} labels",
+        g.node_count(),
+        g.label_count()
+    );
 
-    let scholar = workload(&g, &["SPEECH.SPEAKER", "SPEECH.LINE", "ACT.SCENE.SPEECH"], 10);
-    let stage = workload(&g, &["SCENE.STAGEDIR", "SCENE.TITLE", "SPEECH.STAGEDIR"], 10);
+    let scholar = workload(
+        &g,
+        &["SPEECH.SPEAKER", "SPEECH.LINE", "ACT.SCENE.SPEECH"],
+        10,
+    );
+    let stage = workload(
+        &g,
+        &["SCENE.STAGEDIR", "SCENE.TITLE", "SPEECH.STAGEDIR"],
+        10,
+    );
 
     let mut apex = Apex::build_initial(&g);
     println!("\nphase 0 (APEX0):          {:?}", apex.stats());
 
     // Phase 1: scholar workload arrives.
     let steps = apex.refine(&g, &scholar, 0.2);
-    println!("phase 1 (scholar, {steps:>4} update steps): {:?}", apex.stats());
-    let t = run_batch(&ApexProcessor::new(&g, &apex, &table), &queries_of(&scholar));
+    println!(
+        "phase 1 (scholar, {steps:>4} update steps): {:?}",
+        apex.stats()
+    );
+    let t = run_batch(
+        &ApexProcessor::new(&g, &apex, &table),
+        &queries_of(&scholar),
+    );
     println!("  scholar queries: {}", t.summary());
     let t = run_batch(&ApexProcessor::new(&g, &apex, &table), &queries_of(&stage));
     println!("  stage queries:   {}", t.summary());
@@ -55,11 +75,19 @@ fn main() {
     // Phase 2: drift to the stage-manager workload. The update is
     // incremental: far fewer steps than a full rebuild would take.
     let steps = apex.refine(&g, &stage, 0.2);
-    println!("\nphase 2 (stage,   {steps:>4} update steps): {:?}", apex.stats());
+    println!(
+        "\nphase 2 (stage,   {steps:>4} update steps): {:?}",
+        apex.stats()
+    );
     let t = run_batch(&ApexProcessor::new(&g, &apex, &table), &queries_of(&stage));
     println!("  stage queries:   {}", t.summary());
-    println!("  required paths now: {:?}", apex.required_paths(&g)
-        .iter().filter(|p| p.contains('.')).collect::<Vec<_>>());
+    println!(
+        "  required paths now: {:?}",
+        apex.required_paths(&g)
+            .iter()
+            .filter(|p| p.contains('.'))
+            .collect::<Vec<_>>()
+    );
 
     // Correctness after two refinements.
     for q in queries_of(&scholar).iter().chain(queries_of(&stage).iter()) {

@@ -20,11 +20,23 @@ fn main() {
     let cfg = ParserConfig {
         id_attrs: vec!["id".into()],
         idref_attrs: vec![
-            "sequel".into(), "remakeof".into(), "related".into(),
-            "husb".into(), "wife".into(), "chil".into(), "famc".into(),
-            "fams".into(), "alia".into(), "asso".into(), "subm".into(),
-            "sour".into(), "note".into(), "obje".into(), "repo".into(),
-            "anci".into(), "desi".into(),
+            "sequel".into(),
+            "remakeof".into(),
+            "related".into(),
+            "husb".into(),
+            "wife".into(),
+            "chil".into(),
+            "famc".into(),
+            "fams".into(),
+            "alia".into(),
+            "asso".into(),
+            "subm".into(),
+            "sour".into(),
+            "note".into(),
+            "obje".into(),
+            "repo".into(),
+            "anci".into(),
+            "desi".into(),
         ],
     };
 

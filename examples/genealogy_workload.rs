@@ -8,8 +8,8 @@
 //! ```
 
 use apex::Apex;
-use apex_query::batch::{run_batch, QueryProcessor};
 use apex_query::apex_qp::ApexProcessor;
+use apex_query::batch::{run_batch, QueryProcessor};
 use apex_query::guide_qp::GuideProcessor;
 use apex_query::naive::NaiveProcessor;
 use apex_query::Query;
@@ -89,7 +89,10 @@ fn main() {
         let expect = naive.eval(q).nodes;
         assert_eq!(ApexProcessor::new(&g, &apex, &table).eval(q).nodes, expect);
         assert_eq!(GuideProcessor::new(&g, &sdg, &table).eval(q).nodes, expect);
-        assert_eq!(GuideProcessor::new(&g, &oneidx, &table).eval(q).nodes, expect);
+        assert_eq!(
+            GuideProcessor::new(&g, &oneidx, &table).eval(q).nodes,
+            expect
+        );
         println!("{:<18} -> {} nodes", q.render(&g), expect.len());
     }
     println!("\nAPEX starts its traversal at the G_APEX classes matching the first label;");

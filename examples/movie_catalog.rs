@@ -7,8 +7,8 @@
 //! ```
 
 use apex::{Apex, Workload};
-use apex_query::batch::run_batch;
 use apex_query::apex_qp::ApexProcessor;
+use apex_query::batch::run_batch;
 use apex_query::guide_qp::GuideProcessor;
 use apex_query::Query;
 use apex_storage::{DataTable, PageModel};
@@ -47,7 +47,9 @@ fn main() {
     // The query mix replays the workload shape.
     let queries: Vec<Query> = workload
         .iter()
-        .map(|p| Query::PartialPath { labels: p.labels().to_vec() })
+        .map(|p| Query::PartialPath {
+            labels: p.labels().to_vec(),
+        })
         .collect();
 
     let sdg = DataGuide::build(&g);
@@ -78,7 +80,12 @@ fn main() {
         };
         println!(
             "{:<14} {:>7} {:>7} {:>10} {:>10} {:>9}",
-            name, stats.nodes, stats.edges, t.cost.hash_lookups, t.cost.index_edges, t.cost.pages_read
+            name,
+            stats.nodes,
+            stats.edges,
+            t.cost.hash_lookups,
+            t.cost.index_edges,
+            t.cost.pages_read
         );
     }
 

@@ -6,8 +6,8 @@
 //! ```
 
 use apex::{Apex, Workload};
-use apex_query::batch::QueryProcessor;
 use apex_query::apex_qp::ApexProcessor;
+use apex_query::batch::QueryProcessor;
 use apex_query::Query;
 use apex_storage::{DataTable, PageModel};
 use xmlgraph::LabelPath;

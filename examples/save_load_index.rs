@@ -36,7 +36,13 @@ fn main() {
     println!("loaded: {:?}", loaded.stats());
 
     assert_eq!(index.stats(), loaded.stats());
-    for p in ["indi.birt.date", "fam.marr.plac", "indi.name.surn", "date", "plac"] {
+    for p in [
+        "indi.birt.date",
+        "fam.marr.plac",
+        "indi.name.surn",
+        "date",
+        "plac",
+    ] {
         let path = LabelPath::parse(&g, p).expect("path");
         let a = index.lookup(path.labels());
         let b = loaded.lookup(path.labels());

@@ -26,9 +26,26 @@ fn main() {
 
     // Three phases of user behaviour.
     let phases: [(&str, &[&str]); 3] = [
-        ("casting dept", &["//leadcast/male/name", "//leadcast/female/name", "//cast/leadcast"]),
-        ("critics", &["//review/title", "//plotsummary/paragraph", "//review/bees"]),
-        ("archivists", &["//genre/primarygenre", "//review/releaseyear", "//video/color"]),
+        (
+            "casting dept",
+            &[
+                "//leadcast/male/name",
+                "//leadcast/female/name",
+                "//cast/leadcast",
+            ],
+        ),
+        (
+            "critics",
+            &["//review/title", "//plotsummary/paragraph", "//review/bees"],
+        ),
+        (
+            "archivists",
+            &[
+                "//genre/primarygenre",
+                "//review/releaseyear",
+                "//video/color",
+            ],
+        ),
     ];
 
     for (phase, queries) in phases {

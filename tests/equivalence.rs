@@ -10,8 +10,8 @@
 
 use apex_query::batch::QueryProcessor;
 use apex_query::generator::GeneratorConfig;
-use apex_query::{apex_qp::ApexProcessor, fabric_qp::FabricProcessor, guide_qp::GuideProcessor};
 use apex_query::naive::NaiveProcessor;
+use apex_query::{apex_qp::ApexProcessor, fabric_qp::FabricProcessor, guide_qp::GuideProcessor};
 use apex_suite::{small, Fixture};
 use xmlgraph::paths::EnumLimits;
 use xmlgraph::XmlGraph;
@@ -23,7 +23,10 @@ fn cfg(seed: u64) -> GeneratorConfig {
         qtype3: 60,
         workload_fraction: 0.2,
         seed,
-        limits: EnumLimits { max_len: 10, max_paths: 30_000 },
+        limits: EnumLimits {
+            max_len: 10,
+            max_paths: 30_000,
+        },
     }
 }
 
@@ -84,7 +87,11 @@ fn check_dataset(g: XmlGraph, seed: u64) {
                 "fabric unsound on {}",
                 q.render(&fx.g)
             );
-            assert!(!got.is_empty(), "fabric missed all results on {}", q.render(&fx.g));
+            assert!(
+                !got.is_empty(),
+                "fabric missed all results on {}",
+                q.render(&fx.g)
+            );
         } else {
             assert_eq!(got, expect, "fabric differs on {}", q.render(&fx.g));
         }
@@ -120,14 +127,21 @@ fn section4_q1_on_every_index() {
         labels: xmlgraph::LabelPath::parse(&fx.g, "actor.name").unwrap().0,
     };
     let expect = vec![xmlgraph::NodeId(3), xmlgraph::NodeId(5)];
-    let apex = fx.apex_with(
-        &apex::Workload::parse(&fx.g, &["actor.name"]).unwrap(),
-        0.5,
-    );
-    assert_eq!(ApexProcessor::new(&fx.g, &apex, &fx.table).eval(&q).nodes, expect);
-    assert_eq!(GuideProcessor::new(&fx.g, &fx.sdg, &fx.table).eval(&q).nodes, expect);
+    let apex = fx.apex_with(&apex::Workload::parse(&fx.g, &["actor.name"]).unwrap(), 0.5);
     assert_eq!(
-        GuideProcessor::new(&fx.g, &fx.oneindex, &fx.table).eval(&q).nodes,
+        ApexProcessor::new(&fx.g, &apex, &fx.table).eval(&q).nodes,
+        expect
+    );
+    assert_eq!(
+        GuideProcessor::new(&fx.g, &fx.sdg, &fx.table)
+            .eval(&q)
+            .nodes,
+        expect
+    );
+    assert_eq!(
+        GuideProcessor::new(&fx.g, &fx.oneindex, &fx.table)
+            .eval(&q)
+            .nodes,
         expect
     );
 }

@@ -15,7 +15,10 @@ fn cfg(seed: u64) -> GeneratorConfig {
         qtype3: 0,
         workload_fraction: 0.2,
         seed,
-        limits: EnumLimits { max_len: 10, max_paths: 30_000 },
+        limits: EnumLimits {
+            max_len: 10,
+            max_paths: 30_000,
+        },
     }
 }
 
@@ -41,7 +44,12 @@ fn apex0_nodes_is_labels_plus_root() {
         // (The root tag labels no edge; every other label does in our
         // generators.)
         let stats = apex0.stats();
-        assert_eq!(stats.nodes, g.label_count() - 1 + 1, "dataset labels {}", g.label_count());
+        assert_eq!(
+            stats.nodes,
+            g.label_count() - 1 + 1,
+            "dataset labels {}",
+            g.label_count()
+        );
     }
 }
 
@@ -85,16 +93,30 @@ fn sdg_blowup_grows_with_irregularity() {
     // irregular data (Ged ≫ Flix ≫ Play). GedML's lineage clusters need
     // a few hundred individuals before reference-path diversity kicks
     // in, so this comparison uses Ged01-scale data.
-    let ratios: Vec<f64> = [datagen::shakespeare(2, 7), datagen::flixml(200, 7), datagen::gedml(360, 7)]
-        .into_iter()
-        .map(|g| {
-            let sdg = DataGuide::build(&g);
-            let apex0 = Apex::build_initial(&g);
-            sdg.node_count() as f64 / apex0.stats().nodes as f64
-        })
-        .collect();
-    assert!(ratios[0] < ratios[1], "play {} !< flix {}", ratios[0], ratios[1]);
-    assert!(ratios[1] < ratios[2], "flix {} !< ged {}", ratios[1], ratios[2]);
+    let ratios: Vec<f64> = [
+        datagen::shakespeare(2, 7),
+        datagen::flixml(200, 7),
+        datagen::gedml(360, 7),
+    ]
+    .into_iter()
+    .map(|g| {
+        let sdg = DataGuide::build(&g);
+        let apex0 = Apex::build_initial(&g);
+        sdg.node_count() as f64 / apex0.stats().nodes as f64
+    })
+    .collect();
+    assert!(
+        ratios[0] < ratios[1],
+        "play {} !< flix {}",
+        ratios[0],
+        ratios[1]
+    );
+    assert!(
+        ratios[1] < ratios[2],
+        "flix {} !< ged {}",
+        ratios[1],
+        ratios[2]
+    );
 }
 
 #[test]
@@ -105,7 +127,10 @@ fn sdg_on_tree_equals_distinct_paths() {
     let sdg = DataGuide::build(&g);
     let paths = xmlgraph::paths::rooted_label_paths(
         &g,
-        EnumLimits { max_len: 64, max_paths: 10_000_000 },
+        EnumLimits {
+            max_len: 64,
+            max_paths: 10_000_000,
+        },
     );
     assert_eq!(sdg.node_count(), paths.len() + 1);
 }
@@ -141,7 +166,9 @@ fn refined_apex_keeps_theorems_on_all_families() {
             }
         }
         for x in apex.graph().reachable(apex.xroot()) {
-            let Some(inc) = apex.incoming_label(x) else { continue };
+            let Some(inc) = apex.incoming_label(x) else {
+                continue;
+            };
             for &(l2, _) in apex.out_edges(x) {
                 assert!(data_pairs.contains(&(inc, l2)), "Theorem 2 violated");
             }

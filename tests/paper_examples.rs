@@ -72,7 +72,11 @@ fn section4_q1_cheaper_on_apex_than_sdg() {
     assert_eq!(a.cost.index_edges, 0);
     assert!(a.cost.hash_lookups <= 4);
     // SDG: must navigate its edges exhaustively.
-    assert!(s.cost.index_edges >= 14, "sdg visited {} edges", s.cost.index_edges);
+    assert!(
+        s.cost.index_edges >= 14,
+        "sdg visited {} edges",
+        s.cost.index_edges
+    );
 }
 
 #[test]
@@ -87,7 +91,10 @@ fn definition9_remainder_extents() {
     let dn = LabelPath::parse(&g, "director.name").unwrap();
     let hit = apex.lookup(dn.labels());
     assert_eq!(hit.matched_len, 1);
-    assert_eq!(pairs(apex.extent(hit.xnode.unwrap())), vec![(7, 11), (12, 13)]);
+    assert_eq!(
+        pairs(apex.extent(hit.xnode.unwrap())),
+        vec![(7, 11), (12, 13)]
+    );
 }
 
 #[test]
@@ -129,7 +136,9 @@ fn theorem2_no_phantom_length2_paths() {
         }
     }
     for x in apex.graph().reachable(apex.xroot()) {
-        let Some(inc) = apex.incoming_label(x) else { continue };
+        let Some(inc) = apex.incoming_label(x) else {
+            continue;
+        };
         for &(l2, _) in apex.out_edges(x) {
             assert!(data_pairs.contains(&(inc, l2)));
         }
@@ -154,7 +163,12 @@ fn figure7_figure12_workload_drift() {
     // Round 2: drift — director.movie hot, actor.name cold.
     let wl2 = Workload::parse(
         &g,
-        &["director.movie", "director.movie", "director.movie", "actor.name"],
+        &[
+            "director.movie",
+            "director.movie",
+            "director.movie",
+            "actor.name",
+        ],
     )
     .unwrap();
     let steps = idx.refine(&g, &wl2, 0.5);
@@ -189,10 +203,7 @@ fn incremental_update_equals_rebuild() {
     let mut fresh = Apex::build_initial(&g);
     fresh.refine(&g, &wl2, 0.1);
 
-    assert_eq!(
-        incremental.required_paths(&g),
-        fresh.required_paths(&g)
-    );
+    assert_eq!(incremental.required_paths(&g), fresh.required_paths(&g));
     // Same extents for every required path (compare via lookup).
     for p in ["director.movie", "movie.title", "name", "movie", "title"] {
         let path = LabelPath::parse(&g, p).unwrap();

@@ -32,9 +32,7 @@ const ALPHABET: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
 
 fn rand_graph(max_nodes: usize) -> impl Strategy<Value = RandGraph> {
     (2..max_nodes).prop_flat_map(|n| {
-        let parents = (1..n)
-            .map(|i| (0..i).boxed())
-            .collect::<Vec<_>>();
+        let parents = (1..n).map(|i| (0..i).boxed()).collect::<Vec<_>>();
         let tags = proptest::collection::vec(0..ALPHABET.len(), n - 1);
         let extras = proptest::collection::vec((0..n, 1..n), 0..n / 2);
         let values = proptest::collection::vec((1..n, 0u8..5), 0..n / 2);
@@ -58,7 +56,12 @@ fn materialize(rg: &RandGraph) -> XmlGraph {
             .iter()
             .find(|(node, _)| *node == i)
             .map(|(_, v)| format!("v{v}"));
-        b.node(i as u32, tag, Some(rg.parents[i - 1] as u32), value.as_deref());
+        b.node(
+            i as u32,
+            tag,
+            Some(rg.parents[i - 1] as u32),
+            value.as_deref(),
+        );
     }
     // Tree edges (label = child's tag).
     for i in 1..n {
@@ -328,9 +331,146 @@ mod edgeset_laws {
     }
 }
 
+/// Laws of the shared execution layer: the adaptive semijoin operator
+/// returns the same pairs whichever access path it picks, every scalar
+/// an operator moves is attributed to exactly one operator, and the
+/// cross-query pool makes re-execution I/O-free without changing
+/// results.
+mod exec_laws {
+    use apex_query::exec::{self, ExecContext, ExtentScan, ExtentUnion};
+    use apex_storage::bufmgr::{BufferHandle, Space};
+    use apex_storage::{EdgePair, EdgeSet, OpKind};
+    use proptest::prelude::*;
+
+    fn pairs(max: u32, count: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+        proptest::collection::vec((0..max, 0..max), 0..count)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+        #[test]
+        fn adaptive_semijoin_matches_reference(a in pairs(60, 40), b in pairs(60, 40)) {
+            let (sa, sb) = (EdgeSet::from_raw(&a), EdgeSet::from_raw(&b));
+            let ends = sa.end_nodes();
+            let buf = BufferHandle::unbounded();
+            let mut ctx = ExecContext::new(&buf);
+            let hit = exec::semijoin(&mut ctx, &ends, Space::ApexExtent, 0, &sb);
+            let expect: Vec<EdgePair> = sb
+                .iter()
+                .filter(|p| ends.binary_search(&p.parent).is_ok())
+                .collect();
+            prop_assert_eq!(hit.pairs().to_vec(), expect);
+            // Exactly one of the two semijoin operators ran.
+            let cost = ctx.finish();
+            prop_assert_eq!(
+                cost.ops.get(OpKind::SemijoinProbe).invocations
+                    + cost.ops.get(OpKind::SemijoinMerge).invocations,
+                1
+            );
+        }
+
+        #[test]
+        fn attribution_is_a_partition(a in pairs(60, 40), b in pairs(60, 40)) {
+            let (sa, sb) = (EdgeSet::from_raw(&a), EdgeSet::from_raw(&b));
+            let buf = BufferHandle::unbounded();
+            let mut ctx = ExecContext::new(&buf);
+            ExtentScan::pairs(Space::ApexExtent, 0, &sa).run(&mut ctx);
+            let u = ExtentUnion {
+                sources: vec![(0, &sa), (1, &sb)],
+                space: Space::ApexExtent,
+            }
+            .run(&mut ctx);
+            let ends = u.end_nodes();
+            let _ = exec::semijoin(&mut ctx, &ends, Space::ApexExtent, 2, &sb);
+            let cost = ctx.finish();
+            // Per-operator scalars sum exactly to the query totals.
+            for (i, total) in cost.scalars().iter().enumerate() {
+                let attributed: u64 =
+                    OpKind::ALL.iter().map(|&k| cost.ops.get(k).scalars[i]).sum();
+                prop_assert_eq!(attributed, *total, "scalar #{}", i);
+            }
+        }
+
+        #[test]
+        fn warm_rerun_is_io_free(a in pairs(60, 40), b in pairs(60, 40)) {
+            let (sa, sb) = (EdgeSet::from_raw(&a), EdgeSet::from_raw(&b));
+            let buf = BufferHandle::unbounded();
+            let run = |buf: &BufferHandle| {
+                let mut ctx = ExecContext::new(buf);
+                let u = ExtentUnion {
+                    sources: vec![(0, &sa), (1, &sb)],
+                    space: Space::ApexExtent,
+                }
+                .run(&mut ctx);
+                let ends = u.end_nodes();
+                let hit = exec::semijoin(&mut ctx, &ends, Space::ApexExtent, 2, &sb);
+                (hit, ctx.finish())
+            };
+            let (cold_hit, cold) = run(&buf);
+            let (warm_hit, warm) = run(&buf);
+            prop_assert_eq!(cold_hit, warm_hit);
+            prop_assert_eq!(warm.pages_read, 0);
+            // Only I/O changes between runs; logical work is identical.
+            prop_assert_eq!(warm.extent_pairs, cold.extent_pairs);
+            prop_assert_eq!(warm.join_work, cold.join_work);
+            prop_assert_eq!(warm.join_output, cold.join_output);
+        }
+    }
+}
+
+/// LRU buffer-manager laws: hits + misses partition the touches, the
+/// resident set respects capacity, and an unbounded pool never evicts.
+mod bufmgr_laws {
+    use apex_storage::bufmgr::{BufferManager, ObjectId, Space};
+    use apex_storage::PageModel;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+        #[test]
+        fn capacity_and_counter_invariants(
+            capacity in 1u64..12,
+            touches in proptest::collection::vec((0u64..16, 0usize..40_000), 1..120),
+        ) {
+            let mut pool = BufferManager::new(PageModel::default(), capacity);
+            let mut max_obj = 0u64;
+            for &(id, bytes) in &touches {
+                pool.touch(ObjectId::new(Space::Raw, id), bytes);
+                // A just-missed object is never evicted, so residency may
+                // exceed capacity only when one object is itself larger
+                // than the pool.
+                max_obj = max_obj.max(pool.model().pages_for_bytes(bytes).max(1));
+                prop_assert!(pool.resident_pages() <= capacity.max(max_obj));
+            }
+            let s = pool.stats();
+            prop_assert_eq!(s.hits + s.misses, touches.len() as u64);
+            prop_assert_eq!(s.pages_read > 0, s.misses > 0);
+        }
+
+        #[test]
+        fn unbounded_pool_never_evicts_and_rereads(
+            touches in proptest::collection::vec((0u64..16, 0usize..40_000), 1..120),
+        ) {
+            let mut pool = BufferManager::unbounded(PageModel::default());
+            for &(id, bytes) in &touches {
+                pool.touch(ObjectId::new(Space::Raw, id), bytes);
+            }
+            let distinct: std::collections::HashSet<u64> =
+                touches.iter().map(|&(id, _)| id).collect();
+            let s = pool.stats();
+            prop_assert_eq!(s.evictions, 0);
+            // Every distinct object misses exactly once.
+            prop_assert_eq!(s.misses, distinct.len() as u64);
+            prop_assert_eq!(pool.objects(), distinct.len());
+        }
+    }
+}
+
 /// Persistence: saving and loading any refined index preserves lookups.
 mod persist_roundtrip {
-    use super::{materialize, rand_graph, rand_paths, to_label_path, RandGraph};
+    use super::{materialize, rand_graph, rand_paths, to_label_path};
     use apex::{persist, Apex, Workload};
     use proptest::prelude::*;
     use xmlgraph::LabelPath;

@@ -70,7 +70,10 @@ fn assert_structurally_equal(a: &XmlGraph, b: &XmlGraph) {
         let mut v: Vec<(String, String)> = g
             .edges()
             .map(|(f, l, _)| {
-                (g.label_str(g.tag(f)).to_string(), g.label_str(l).to_string())
+                (
+                    g.label_str(g.tag(f)).to_string(),
+                    g.label_str(l).to_string(),
+                )
             })
             .collect();
         v.sort();
@@ -78,7 +81,10 @@ fn assert_structurally_equal(a: &XmlGraph, b: &XmlGraph) {
     };
     assert_eq!(shape(a), shape(b), "edge shapes differ");
     // Distinct rooted label paths agree (bounded).
-    let limits = xmlgraph::paths::EnumLimits { max_len: 6, max_paths: 50_000 };
+    let limits = xmlgraph::paths::EnumLimits {
+        max_len: 6,
+        max_paths: 50_000,
+    };
     let paths = |g: &XmlGraph| {
         let mut v: Vec<String> = xmlgraph::paths::rooted_label_paths(g, limits)
             .iter()
