@@ -1,23 +1,52 @@
 #!/usr/bin/env bash
-# Offline CI gate: build, test, lint, format.
+# Offline CI gate: build, test, lint, static analysis, format.
 #
 # Everything runs with --offline against the vendored shims in shims/
 # (rand / proptest / criterion), so no network access is required.
 # Criterion benches are gated behind the `bench-harness` feature and
 # are compile-checked here, not run.
+#
+# apex-lint (crates/lint) is the workspace's own invariant checker: it
+# walks crates/*/src and fails the gate on any finding (cost-counter
+# writes outside the storage/executor layers, panicking calls in library
+# code, missing #![forbid(unsafe_code)], stray terminal output, direct
+# process::exit, or buffer pools constructed outside storage/batch).
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
+STEP_NAMES=()
+STEP_SECS=()
+
 run() {
     echo "==> $*"
+    local t0 t1
+    t0=$SECONDS
     "$@"
+    t1=$SECONDS
+    STEP_NAMES+=("$1 ${2-}")
+    STEP_SECS+=($((t1 - t0)))
 }
+
+# Curated pedantic subset on top of the default clippy set: leftover
+# debugging and placeholder macros never belong in a green tree.
+CLIPPY_EXTRA=(
+    -W clippy::dbg_macro
+    -W clippy::todo
+    -W clippy::unimplemented
+)
 
 run cargo build --release --offline --workspace
 run cargo test --offline --workspace --quiet
-run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo clippy --offline --workspace --all-targets -- "${CLIPPY_EXTRA[@]}" -D warnings
+run cargo run --release --offline --quiet -p apex-lint -- --root .
 run cargo bench --offline --no-run --features apex-bench/bench-harness -p apex-bench
 run cargo fmt --check
+
+echo
+echo "step timing:"
+for i in "${!STEP_NAMES[@]}"; do
+    printf '  %4ss  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+done
 
 echo "CI OK"

@@ -26,7 +26,7 @@ use apex_query::run_batch;
 /// replays the QTYPE1 batch reading every touched extent from disk with
 /// a per-query cache (mirroring the cost model's buffer pool), and
 /// returns `(model_pages, real_pages)`.
-fn validate_page_model(ex: &Experiment, apex: &apex::Apex) -> (u64, u64) {
+fn validate_page_model(ex: &Experiment, apex: &apex::Apex) -> std::io::Result<(u64, u64)> {
     use apex_storage::{ExtentStore, PageModel};
     use std::collections::HashMap;
 
@@ -43,10 +43,10 @@ fn validate_page_model(ex: &Experiment, apex: &apex::Apex) -> (u64, u64) {
         ex.dataset.name(),
         std::process::id()
     ));
-    let mut store = ExtentStore::create(&path, PageModel::default()).expect("create store");
+    let mut store = ExtentStore::create(&path, PageModel::default())?;
     let mut ids: HashMap<u32, apex_storage::ExtentId> = HashMap::new();
     for x in apex.graph().reachable(apex.xroot()) {
-        let id = store.append(apex.extent(x)).expect("append extent");
+        let id = store.append(apex.extent(x))?;
         ids.insert(x.0, id);
     }
     for q in ex.queries.qtype1.iter().take(500) {
@@ -56,7 +56,7 @@ fn validate_page_model(ex: &Experiment, apex: &apex::Apex) -> (u64, u64) {
             let seg = apex.segment_nodes(&labels[..j]);
             for x in &seg.xnodes {
                 if touched.insert(x.0) {
-                    let _ = store.read(ids[&x.0]).expect("read extent");
+                    store.read(ids[&x.0])?;
                 }
             }
             if seg.exact {
@@ -66,10 +66,10 @@ fn validate_page_model(ex: &Experiment, apex: &apex::Apex) -> (u64, u64) {
     }
     let real = store.pages_read();
     let _ = std::fs::remove_file(&path);
-    (model, real)
+    Ok((model, real))
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let scale = Scale::from_env();
 
     println!("Ablation 1+2: QTYPE1 over 1-index and naive traversal");
@@ -139,7 +139,7 @@ fn main() {
     for d in scale.datasets() {
         let ex = Experiment::new(d, scale);
         let apex = ex.apex_at(0.005);
-        let (model, real) = validate_page_model(&ex, &apex);
+        let (model, real) = validate_page_model(&ex, &apex)?;
         println!(
             "{:<18} {:>14} {:>14} {:>8.2}",
             d.name(),
@@ -168,4 +168,6 @@ fn main() {
             );
         }
     }
+
+    Ok(())
 }

@@ -27,6 +27,8 @@
 //! show buffer hits; `--buffer-pages N` bounds the pool (LRU) instead
 //! of the default unbounded pool.
 
+#![forbid(unsafe_code)]
+
 use std::io::{BufRead, BufReader, BufWriter, Write};
 
 use apex::{persist, Apex, RefreshPolicy, WorkloadMonitor};

@@ -40,10 +40,9 @@ pub fn build_apex0(g: &XmlGraph) -> (GApex, HashTree, XNodeId) {
             }
         }
         // Deterministic order regardless of hash iteration.
-        let mut labels: Vec<LabelId> = groups.keys().copied().collect();
-        labels.sort_unstable();
-        for label in labels {
-            let pairs = groups.remove(&label).expect("key from map");
+        let mut grouped: Vec<(LabelId, Vec<EdgePair>)> = groups.drain().collect();
+        grouped.sort_unstable_by_key(|&(label, _)| label);
+        for (label, pairs) in grouped {
             // y := hash(l), creating the node on first sight.
             ht.ensure_head_entry(label);
             let head = ht.head();

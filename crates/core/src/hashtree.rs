@@ -192,12 +192,16 @@ impl HashTree {
     pub fn set_xnode(&mut self, r: EntryRef, x: XNodeId) {
         match r {
             EntryRef::Label(h, l) => {
-                let e = self.nodes[h.idx()]
-                    .entries
-                    .get_mut(&l)
-                    .expect("EntryRef must point at an existing entry");
-                debug_assert!(e.next.is_none(), "entry cannot have both next and xnode");
-                e.xnode = Some(x);
+                // EntryRefs are only minted against existing entries; a
+                // missing slot is a stale handle and the write is dropped.
+                debug_assert!(
+                    self.nodes[h.idx()].entries.contains_key(&l),
+                    "EntryRef must point at an existing entry"
+                );
+                if let Some(e) = self.nodes[h.idx()].entries.get_mut(&l) {
+                    debug_assert!(e.next.is_none(), "entry cannot have both next and xnode");
+                    e.xnode = Some(x);
+                }
             }
             EntryRef::Remainder(h) => self.nodes[h.idx()].remainder = Some(x),
         }
@@ -344,11 +348,9 @@ impl HashTree {
                 Some(h) => h,
                 None => {
                     let h = self.alloc();
-                    self.nodes[hnode.idx()]
-                        .entries
-                        .get_mut(&label)
-                        .expect("just ensured")
-                        .next = Some(h);
+                    if let Some(e) = self.nodes[hnode.idx()].entries.get_mut(&label) {
+                        e.next = Some(h);
+                    }
                     h
                 }
             };
@@ -387,10 +389,11 @@ impl HashTree {
                 // subtree and, if it had one, regains a direct class later
                 // via updateAPEX.
                 if is_head {
-                    let slot = self.nodes[h.idx()].entries.get_mut(&label).expect("exists");
-                    if slot.next.is_some() {
-                        slot.next = None;
-                        slot.xnode = None; // class changed: recompute
+                    if let Some(slot) = self.nodes[h.idx()].entries.get_mut(&label) {
+                        if slot.next.is_some() {
+                            slot.next = None;
+                            slot.xnode = None; // class changed: recompute
+                        }
                     }
                 } else {
                     self.nodes[h.idx()].entries.remove(&label);
@@ -400,21 +403,20 @@ impl HashTree {
             // Frequent entry: recurse first.
             if let Some(next) = e.next {
                 if self.prune_node(next, threshold) {
-                    self.nodes[h.idx()]
-                        .entries
-                        .get_mut(&label)
-                        .expect("exists")
-                        .next = None;
+                    if let Some(slot) = self.nodes[h.idx()].entries.get_mut(&label) {
+                        slot.next = None;
+                    }
                 }
             }
-            let slot = self.nodes[h.idx()].entries.get_mut(&label).expect("exists");
-            // §5.2 case 1: was a maximal suffix, is not any more (both
-            // next and xnode non-NULL) — invalidate xnode.
-            if slot.next.is_some() && slot.xnode.is_some() {
-                slot.xnode = None;
-            }
-            if slot.new {
-                saw_new_survivor = true;
+            if let Some(slot) = self.nodes[h.idx()].entries.get_mut(&label) {
+                // §5.2 case 1: was a maximal suffix, is not any more (both
+                // next and xnode non-NULL) — invalidate xnode.
+                if slot.next.is_some() && slot.xnode.is_some() {
+                    slot.xnode = None;
+                }
+                if slot.new {
+                    saw_new_survivor = true;
+                }
             }
         }
         // §5.2 case 2: a new frequent path appeared in this hash node, so

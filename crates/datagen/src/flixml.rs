@@ -32,7 +32,7 @@ pub fn flixml(reviews: usize, seed: u64) -> XmlGraph {
     let mut review_nodes: Vec<NodeId> = Vec::with_capacity(reviews);
     for i in 0..reviews {
         let r = gen_review(&mut b, root, &mut rng, i, tier);
-        b.register_id(r, &format!("f{i}")).expect("unique ids");
+        crate::register_unique(&mut b, r, &format!("f{i}"));
         review_nodes.push(r);
     }
 
@@ -50,7 +50,7 @@ pub fn flixml(reviews: usize, seed: u64) -> XmlGraph {
         b.add_idref(from, attr, &format!("f{to}"));
     }
 
-    b.finish().expect("all ids registered")
+    crate::finish_generated(b)
 }
 
 fn gen_review(

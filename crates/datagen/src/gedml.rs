@@ -38,14 +38,14 @@ pub fn gedml(individuals: usize, seed: u64) -> XmlGraph {
     b.add_value_child(head, "dest", "ANSTFILE");
 
     let subm = b.add_child(root, "subm");
-    b.register_id(subm, "SUB1").expect("unique");
+    crate::register_unique(&mut b, subm, "SUB1");
     b.add_value_child(subm, "name", "Generated Archive");
     b.add_value_child(subm, "corp", "Archive Corp");
 
     let n_sours = 4.max(individuals / 100);
     for i in 0..n_sours {
         let s = b.add_child(root, "sour");
-        b.register_id(s, &format!("S{i}")).expect("unique");
+        crate::register_unique(&mut b, s, &format!("S{i}"));
         b.add_value_child(s, "titl", &format!("Parish register {i}"));
         b.add_value_child(s, "auth", &names::person(&mut rng));
         b.add_value_child(s, "publ", "County Press");
@@ -54,20 +54,20 @@ pub fn gedml(individuals: usize, seed: u64) -> XmlGraph {
     let n_notes = 3.max(individuals / 200);
     for i in 0..n_notes {
         let n = b.add_child(root, "note");
-        b.register_id(n, &format!("N{i}")).expect("unique");
+        crate::register_unique(&mut b, n, &format!("N{i}"));
         b.add_value_child(n, "text", &names::verse(&mut rng));
     }
     let n_objes = 2.max(individuals / 400);
     for i in 0..n_objes {
         let o = b.add_child(root, "obje");
-        b.register_id(o, &format!("O{i}")).expect("unique");
+        crate::register_unique(&mut b, o, &format!("O{i}"));
         b.add_value_child(o, "form", "jpeg");
         b.add_value_child(o, "file", &format!("img{i}.jpg"));
     }
     let n_repos = 2.max(individuals / 500);
     for i in 0..n_repos {
         let r = b.add_child(root, "repo");
-        b.register_id(r, &format!("R{i}")).expect("unique");
+        crate::register_unique(&mut b, r, &format!("R{i}"));
         b.add_value_child(r, "name", "County Archive");
     }
 
@@ -162,7 +162,7 @@ pub fn gedml(individuals: usize, seed: u64) -> XmlGraph {
             n_repos,
             fams,
         );
-        b.register_id(indi, &format!("I{i}")).expect("unique");
+        crate::register_unique(&mut b, indi, &format!("I{i}"));
         indis.push(indi);
     }
 
@@ -173,7 +173,7 @@ pub fn gedml(individuals: usize, seed: u64) -> XmlGraph {
     // subset construction blow up far beyond the paper's Table 2 sizes.
     for f in 0..families {
         let fam = b.add_child(root, "fam");
-        b.register_id(fam, &format!("F{f}")).expect("unique");
+        crate::register_unique(&mut b, fam, &format!("F{f}"));
         if husb[f] != usize::MAX {
             b.add_idref(fam, "husb", &format!("I{}", husb[f]));
         }
@@ -203,7 +203,7 @@ pub fn gedml(individuals: usize, seed: u64) -> XmlGraph {
         }
     }
 
-    b.finish().expect("all ids registered")
+    crate::finish_generated(b)
 }
 
 /// One INDI record. Heavily optional: the hallmark of GedML irregularity.

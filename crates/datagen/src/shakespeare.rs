@@ -25,7 +25,7 @@ pub fn shakespeare_scaled(plays: usize, seed: u64, scale: f64) -> XmlGraph {
     for play_no in 0..plays {
         gen_play(&mut b, root, &mut rng, play_no, scale);
     }
-    b.finish().expect("tree data has no references")
+    crate::finish_generated(b)
 }
 
 fn gen_play(b: &mut GraphBuilder, root: NodeId, rng: &mut SmallRng, play_no: usize, scale: f64) {

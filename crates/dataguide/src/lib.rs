@@ -56,6 +56,7 @@ impl DataGuide {
     /// Panics if the subset construction exceeds [`DEFAULT_NODE_LIMIT`]
     /// nodes (prevents runaway memory on pathological inputs).
     pub fn build(g: &XmlGraph) -> Self {
+        // apex-lint: allow(no-panic): documented panic contract; build_bounded is the non-panicking API
         Self::build_bounded(g, DEFAULT_NODE_LIMIT).expect("DataGuide exceeded node limit")
     }
 
@@ -83,10 +84,9 @@ impl DataGuide {
                     groups.entry(e.label).or_default().push(e.to);
                 }
             }
-            let mut labels: Vec<LabelId> = groups.keys().copied().collect();
-            labels.sort_unstable();
-            for label in labels {
-                let mut targets = groups.remove(&label).expect("key exists");
+            let mut grouped: Vec<(LabelId, Vec<NodeId>)> = groups.drain().collect();
+            grouped.sort_unstable_by_key(|&(label, _)| label);
+            for (label, mut targets) in grouped {
                 targets.sort_unstable();
                 targets.dedup();
                 let next = match interned.get(&targets) {

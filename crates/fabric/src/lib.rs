@@ -102,7 +102,9 @@ impl IndexFabric {
             }
             let edges = g.out_edges(node);
             if next < edges.len() && labels.len() < limits.max_path_len {
-                stack.last_mut().expect("non-empty").1 += 1;
+                if let Some(top) = stack.last_mut() {
+                    top.1 += 1;
+                }
                 let e = edges[next];
                 if on_path[e.to.idx()] {
                     continue;

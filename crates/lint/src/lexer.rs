@@ -1,0 +1,430 @@
+//! A hand-written lexer for the Rust subset the rule engine matches on.
+//!
+//! The rules in [`crate::rules`] match *token* sequences, so the lexer's
+//! one job is to never confuse code with non-code: string literals
+//! (including raw / byte / raw-byte forms), character literals vs.
+//! lifetimes, and line / nested block comments are all recognized, which
+//! is exactly what naive `grep`-style checking gets wrong (`"unwrap()"`
+//! inside a string or a doc comment must not fire the panic-freedom
+//! rule). Numeric literals and operators are lexed loosely — precise
+//! enough for token matching, far short of a full grammar.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`cost`, `fn`, `unwrap`, …).
+    Ident,
+    /// Raw identifier (`r#type`).
+    RawIdent,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Operator or delimiter, maximal-munch (`::`, `+=`, `{`, …).
+    Punct,
+    /// `// …` comment, doc comments included; text spans to end of line.
+    LineComment,
+    /// `/* … */` comment, nesting honored.
+    BlockComment,
+}
+
+/// One token: classification, source text, 1-based starting line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// What the token is.
+    pub kind: TokKind,
+    /// The token's source text (for `Literal` this includes quotes).
+    pub text: &'a str,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (string,
+/// comment) are tolerated: the remainder of the file becomes one token,
+/// so linting never aborts on a malformed file — the compiler reports
+/// those errors better than we could.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        let mut toks = Vec::new();
+        while let Some(&c) = self.bytes.get(self.pos) {
+            let start = self.pos;
+            let start_line = self.line;
+            let kind = match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                    TokKind::LineComment
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    TokKind::BlockComment
+                }
+                b'"' => {
+                    self.string();
+                    TokKind::Literal
+                }
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => {
+                    self.number();
+                    TokKind::Literal
+                }
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.punct();
+                    TokKind::Punct
+                }
+            };
+            toks.push(Tok {
+                kind,
+                text: &self.src[start..self.pos],
+                line: start_line,
+            });
+        }
+        toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump_counting_lines(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2; // "/*"
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_counting_lines();
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string starting at `pos`, honoring `\` escapes.
+    fn string(&mut self) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.bump_counting_lines();
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.bump_counting_lines(),
+            }
+        }
+    }
+
+    /// Consumes `r"…"` / `r#"…"#` with any number of hashes; `pos` is on
+    /// the first `#` or the opening quote (the `r`/`br` prefix is already
+    /// consumed by the caller).
+    fn raw_string(&mut self) {
+        let start = self.pos;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            self.pos = start; // not actually a raw string; back off
+            return;
+        }
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let after = &self.bytes[self.pos + 1..];
+                if after.len() >= hashes && after[..hashes].iter().all(|&b| b == b'#') {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump_counting_lines();
+        }
+    }
+
+    /// Distinguishes `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) -> TokKind {
+        // pos is on the opening quote.
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Definitely a char literal with an escape.
+                self.pos += 2; // quote + backslash
+                if self.pos < self.bytes.len() {
+                    self.pos += 1; // the escaped character
+                }
+                self.scan_to_closing_quote();
+                TokKind::Literal
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut j = self.pos + 2;
+                while j < self.bytes.len() && is_ident_continue(self.bytes[j]) {
+                    j += 1;
+                }
+                if self.bytes.get(j) == Some(&b'\'') {
+                    self.pos = j + 1; // 'x' — a char literal
+                    TokKind::Literal
+                } else {
+                    self.pos = j; // 'ident — a lifetime
+                    TokKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // ' ' or '€' or similar single-char literal.
+                self.pos += 2;
+                self.scan_to_closing_quote();
+                TokKind::Literal
+            }
+            None => {
+                self.pos += 1;
+                TokKind::Punct
+            }
+        }
+    }
+
+    fn scan_to_closing_quote(&mut self) {
+        // Multibyte chars: skip continuation bytes until the quote.
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+            self.pos += 1;
+        }
+        if self.pos < self.bytes.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn number(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        // A fractional part: `1.5` but not `1..2` or `1.max(2)`.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// An identifier, or a literal announced by an identifier-like prefix
+    /// (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, `r#ident`).
+    fn ident_or_prefixed_literal(&mut self) -> TokKind {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let word = &self.src[start..self.pos];
+        match (word, self.peek(0)) {
+            ("r" | "br", Some(b'"')) => {
+                self.raw_string();
+                TokKind::Literal
+            }
+            ("r" | "br", Some(b'#')) => {
+                // Could be a raw string (r#"…"#) or a raw identifier
+                // (r#type). raw_string() backs off unless it finds the
+                // quote after the hashes.
+                let before = self.pos;
+                self.raw_string();
+                if self.pos != before {
+                    return TokKind::Literal;
+                }
+                if word == "r" && self.peek(1).is_some_and(is_ident_start) {
+                    self.pos += 1; // '#'
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.pos += 1;
+                    }
+                    return TokKind::RawIdent;
+                }
+                TokKind::Ident
+            }
+            ("b", Some(b'"')) => {
+                self.string();
+                TokKind::Literal
+            }
+            ("b", Some(b'\'')) => {
+                self.pos += 1; // the quote
+                if self.peek(0) == Some(b'\\') {
+                    self.pos += 2;
+                }
+                self.scan_to_closing_quote();
+                TokKind::Literal
+            }
+            _ => TokKind::Ident,
+        }
+    }
+
+    fn punct(&mut self) {
+        let rest = &self.src[self.pos..];
+        for op in OPS {
+            if rest.starts_with(op) {
+                self.pos += op.len();
+                return;
+            }
+        }
+        self.pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_ops() {
+        let t = kinds("cost.pages_read += 1;");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "cost"),
+                (TokKind::Punct, "."),
+                (TokKind::Ident, "pages_read"),
+                (TokKind::Punct, "+="),
+                (TokKind::Literal, "1"),
+                (TokKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let t = kinds(r#"let s = "x.unwrap() panic!";"#);
+        assert!(t.iter().all(|(_, s)| !s.starts_with("unwrap")));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r###"let s = r#"quote " inside .unwrap()"#; s.len()"###);
+        let lits: Vec<_> = t.iter().filter(|(k, _)| *k == TokKind::Literal).collect();
+        assert_eq!(lits.len(), 1);
+        assert!(lits[0].1.contains("unwrap"));
+        // The unwrap inside the raw string is a literal, not an ident.
+        assert!(!t.contains(&(TokKind::Ident, "unwrap")));
+        assert!(t.contains(&(TokKind::Ident, "len")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let t = kinds(r#"(b"ab.unwrap()", b'x', b'\n')"#);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Literal).count(), 3);
+        assert!(!t.contains(&(TokKind::Ident, "unwrap")));
+    }
+
+    #[test]
+    fn comments_line_block_nested() {
+        let t = kinds("a /* outer /* nested .unwrap() */ still */ b // tail panic!\nc");
+        assert!(t.contains(&(TokKind::Ident, "a")));
+        assert!(t.contains(&(TokKind::Ident, "b")));
+        assert!(t.contains(&(TokKind::Ident, "c")));
+        assert!(!t.contains(&(TokKind::Ident, "unwrap")));
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokKind::LineComment).count(),
+            1
+        );
+        assert_eq!(
+            t.iter()
+                .filter(|(k, _)| *k == TokKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(t.iter().filter(|(k, _)| *k == TokKind::Lifetime).count() == 2);
+        assert!(t.contains(&(TokKind::Literal, "'x'")));
+        let t = kinds(r"let c = '\''; let l: &'static str = s;");
+        assert!(t.contains(&(TokKind::Literal, r"'\''")));
+        assert!(t.contains(&(TokKind::Lifetime, "'static")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let t = kinds("let r#type = r#move;");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::RawIdent).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline string\"\n/* block\ncomment */ b";
+        let t = lex(src);
+        assert_eq!(t[0].line, 1); // a
+        assert_eq!(t[1].line, 2); // the string starts on line 2
+        assert_eq!(t[2].line, 4); // block comment starts on line 4
+        assert_eq!(t[3].line, 5); // b lands after the comment's newline
+    }
+
+    #[test]
+    fn floats_do_not_eat_method_calls() {
+        let t = kinds("1.5 + 2.max(3) + 0..4");
+        assert!(t.contains(&(TokKind::Literal, "1.5")));
+        assert!(t.contains(&(TokKind::Ident, "max")));
+        assert!(t.contains(&(TokKind::Punct, "..")));
+    }
+}

@@ -1,0 +1,45 @@
+//! # apex-lint — the workspace invariant checker
+//!
+//! PR 1 made per-operator cost attribution a *verified partition* of
+//! [`Cost`] — but only runtime tests defended it. `apex-lint` turns the
+//! architectural contracts into static rules over the workspace's own
+//! sources, in the same build-it-from-scratch spirit as the hand-written
+//! XML tokenizer: a small Rust lexer ([`lexer`]) that correctly skips
+//! strings and comments, a token-sequence rule engine ([`engine`],
+//! [`rules`]) with inline suppressions, and text/JSON reporters
+//! ([`report`]).
+//!
+//! The binary walks `crates/*/src`, applies the catalog, and exits
+//! nonzero on errors; `ci.sh` runs it as a hard gate after clippy.
+//!
+//! ## Rule catalog
+//!
+//! See [`rules::RULES`]. In short: `Cost` I/O counters may only be
+//! written by `apex-storage` and `apex_query::exec` (`cost-io-writes`);
+//! library code is panic-free (`no-panic`) and print-free (`no-print`);
+//! every crate root forbids `unsafe` (`forbid-unsafe`); only the CLI may
+//! call `process::exit` (`no-exit`); buffer pools are constructed only
+//! by the storage and batch layers (`pool-discipline`).
+//!
+//! ## Suppressions
+//!
+//! ```text
+//! cost.pages_read += 1; // apex-lint: allow(cost-io-writes): trie blocks are fabric-local storage
+//! ```
+//!
+//! The justification after the second colon is mandatory; a suppression
+//! that silences nothing is reported as a warning so it cannot go stale
+//! silently.
+//!
+//! [`Cost`]: https://example.org/apex-rs (apex_storage::Cost)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{lint_str, lint_workspace, FileCtx, Finding, Severity};
+pub use report::{render_json, render_text, tally};

@@ -1,0 +1,132 @@
+//! Finding reporters: a compiler-style text form and a line-oriented
+//! JSON form for tooling.
+
+use std::fmt::Write as _;
+
+use crate::engine::{Finding, Severity};
+
+/// Renders findings like rustc diagnostics, one per line, followed by a
+/// summary line:
+///
+/// ```text
+/// crates/foo/src/lib.rs:12: error[no-panic]: `.unwrap()` in library code …
+/// apex-lint: 1 error, 0 warnings
+/// ```
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}: {}[{}]: {}",
+            f.file, f.line, f.severity, f.rule, f.message
+        );
+    }
+    let (errors, warnings) = tally(findings);
+    let _ = writeln!(
+        out,
+        "apex-lint: {errors} error{}, {warnings} warning{}",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    );
+    out
+}
+
+/// Renders findings as one JSON object:
+/// `{"findings":[{"file":…,"line":…,"rule":…,"severity":…,"message":…}],
+///   "errors":N,"warnings":M}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+            escape(&f.file),
+            f.line,
+            escape(f.rule),
+            f.severity,
+            escape(&f.message)
+        );
+    }
+    let (errors, warnings) = tally(findings);
+    let _ = write!(out, "],\"errors\":{errors},\"warnings\":{warnings}}}");
+    out
+}
+
+/// Counts `(errors, warnings)`.
+pub fn tally(findings: &[Finding]) -> (usize, usize) {
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    (errors, findings.len() - errors)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: "no-panic",
+                severity: Severity::Error,
+                message: "a \"quoted\" problem".into(),
+            },
+            Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 9,
+                rule: "unused-suppression",
+                severity: Severity::Warning,
+                message: "stale".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_form_is_one_line_per_finding_plus_summary() {
+        let txt = render_text(&sample());
+        assert!(txt.contains("crates/x/src/lib.rs:3: error[no-panic]: a \"quoted\" problem"));
+        assert!(txt.contains("crates/x/src/lib.rs:9: warning[unused-suppression]: stale"));
+        assert!(txt.ends_with("apex-lint: 1 error, 1 warning\n"));
+    }
+
+    #[test]
+    fn json_escapes_and_tallies() {
+        let js = render_json(&sample());
+        assert!(js.contains("\"message\":\"a \\\"quoted\\\" problem\""));
+        assert!(js.ends_with("\"errors\":1,\"warnings\":1}"));
+        assert!(js.starts_with("{\"findings\":["));
+    }
+
+    #[test]
+    fn empty_report() {
+        assert_eq!(
+            render_json(&[]),
+            "{\"findings\":[],\"errors\":0,\"warnings\":0}"
+        );
+        assert_eq!(render_text(&[]), "apex-lint: 0 errors, 0 warnings\n");
+    }
+}

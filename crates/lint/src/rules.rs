@@ -1,0 +1,262 @@
+//! The rule catalog.
+//!
+//! Each rule is a token-sequence matcher over one file's code tokens
+//! (comments and string contents never match — see [`crate::lexer`]).
+//! Rules encode the workspace's architectural invariants:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `cost-io-writes` | `Cost` I/O counters are written only by the storage layer and the shared executor |
+//! | `no-panic` | library code neither `.unwrap()`s, `.expect()`s nor `panic!`s |
+//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `no-print` | output macros live in `cli`/`bench` only |
+//! | `no-exit` | `std::process::exit` is the CLI's privilege |
+//! | `pool-discipline` | buffer pools are constructed by `storage` and the batch layer only |
+//!
+//! To add a rule: write a `fn(&FileCtx, &mut Vec<Finding>)`, add a
+//! [`Rule`] entry to [`RULES`], add a triggering and a clean fixture
+//! under `crates/lint/tests/fixtures/`, and document it in `DESIGN.md`.
+
+use crate::engine::{FileCtx, Finding, Severity};
+
+/// A named invariant check.
+pub struct Rule {
+    /// Stable kebab-case name, used in reports and `allow(…)`.
+    pub name: &'static str,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// Severity of its findings.
+    pub severity: Severity,
+    /// The matcher.
+    pub check: fn(&FileCtx, &mut Vec<Finding>),
+}
+
+/// The rule catalog, in report order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "cost-io-writes",
+        summary: "Cost I/O counters (pages_read/extent_pairs/table_probes) are written \
+                  only in apex-storage and apex_query::exec",
+        severity: Severity::Error,
+        check: cost_io_writes,
+    },
+    Rule {
+        name: "no-panic",
+        summary: ".unwrap()/.expect()/panic! are banned in non-test library code \
+                  (cli exempt)",
+        severity: Severity::Error,
+        check: no_panic,
+    },
+    Rule {
+        name: "forbid-unsafe",
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+        severity: Severity::Error,
+        check: forbid_unsafe,
+    },
+    Rule {
+        name: "no-print",
+        summary: "println!/eprintln!/print!/eprint! are banned outside cli and bench",
+        severity: Severity::Error,
+        check: no_print,
+    },
+    Rule {
+        name: "no-exit",
+        summary: "std::process::exit is banned outside cli",
+        severity: Severity::Error,
+        check: no_exit,
+    },
+    Rule {
+        name: "pool-discipline",
+        summary: "PageCache/BufferManager are constructed only in apex-storage and \
+                  apex_query::batch",
+        severity: Severity::Error,
+        check: pool_discipline,
+    },
+];
+
+fn emit(ctx: &FileCtx, out: &mut Vec<Finding>, i: usize, rule: &'static str, message: String) {
+    out.push(Finding {
+        file: ctx.rel_path.to_string(),
+        line: ctx.code_tok(i).line,
+        rule,
+        severity: Severity::Error,
+        message,
+    });
+}
+
+/// The `Cost` counters that represent storage I/O; attribution breaks if
+/// anything outside the storage/executor layers bumps them.
+const IO_FIELDS: &[&str] = &["pages_read", "extent_pairs", "table_probes"];
+
+/// Assignment operators (a field followed by one of these is a write).
+const ASSIGN_OPS: &[&str] = &["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="];
+
+fn cost_io_writes(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.crate_dir == "storage" || ctx.rel_path == "crates/query/src/exec.rs" {
+        return;
+    }
+    for i in 0..ctx.code_len() {
+        if ctx.text(i) == "."
+            && IO_FIELDS.iter().any(|f| ctx.ident_is(i + 1, f))
+            && ASSIGN_OPS.contains(&ctx.text(i + 2))
+            && !ctx.is_test(i)
+        {
+            emit(
+                ctx,
+                out,
+                i + 1,
+                "cost-io-writes",
+                format!(
+                    "write to Cost I/O counter `{}` outside apex-storage / apex_query::exec \
+                     breaks per-operator attribution",
+                    ctx.text(i + 1)
+                ),
+            );
+        }
+    }
+}
+
+fn no_panic(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.crate_dir == "cli" {
+        return;
+    }
+    for i in 0..ctx.code_len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        if ctx.text(i) == "."
+            && (ctx.ident_is(i + 1, "unwrap") || ctx.ident_is(i + 1, "expect"))
+            && ctx.text(i + 2) == "("
+        {
+            emit(
+                ctx,
+                out,
+                i + 1,
+                "no-panic",
+                format!(
+                    "`.{}()` in library code can panic; propagate a Result or restructure",
+                    ctx.text(i + 1)
+                ),
+            );
+        } else if ctx.ident_is(i, "panic") && ctx.text(i + 1) == "!" {
+            emit(
+                ctx,
+                out,
+                i,
+                "no-panic",
+                "`panic!` in library code; return an error instead".to_string(),
+            );
+        }
+    }
+}
+
+fn forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.is_crate_root {
+        return;
+    }
+    for i in 0..ctx.code_len() {
+        if ctx.text(i) == "#"
+            && ctx.text(i + 1) == "!"
+            && ctx.text(i + 2) == "["
+            && ctx.ident_is(i + 3, "forbid")
+            && ctx.text(i + 4) == "("
+        {
+            // Accept any ident list containing unsafe_code before `)`.
+            let mut j = i + 5;
+            while j < ctx.code_len() && ctx.text(j) != ")" {
+                if ctx.ident_is(j, "unsafe_code") {
+                    return; // satisfied
+                }
+                j += 1;
+            }
+        }
+    }
+    out.push(Finding {
+        file: ctx.rel_path.to_string(),
+        line: 1,
+        rule: "forbid-unsafe",
+        severity: Severity::Error,
+        message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+    });
+}
+
+/// Crates whose job is terminal output.
+const PRINT_CRATES: &[&str] = &["cli", "bench"];
+
+fn no_print(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if PRINT_CRATES.contains(&ctx.crate_dir) {
+        return;
+    }
+    const MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+    for i in 0..ctx.code_len() {
+        if MACROS.iter().any(|m| ctx.ident_is(i, m)) && ctx.text(i + 1) == "!" && !ctx.is_test(i) {
+            emit(
+                ctx,
+                out,
+                i,
+                "no-print",
+                format!(
+                    "`{}!` in a library crate; terminal output belongs to cli/bench",
+                    ctx.text(i)
+                ),
+            );
+        }
+    }
+}
+
+fn no_exit(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.crate_dir == "cli" {
+        return;
+    }
+    for i in 0..ctx.code_len() {
+        if ctx.ident_is(i, "process")
+            && ctx.text(i + 1) == "::"
+            && ctx.ident_is(i + 2, "exit")
+            && !ctx.is_test(i)
+        {
+            emit(
+                ctx,
+                out,
+                i + 2,
+                "no-exit",
+                "`std::process::exit` outside cli skips destructors and steals the \
+                 exit-code decision"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn pool_discipline(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.crate_dir == "storage" || ctx.rel_path == "crates/query/src/batch.rs" {
+        return;
+    }
+    const TYPES: &[&str] = &["PageCache", "BufferManager"];
+    const CTORS: &[&str] = &[
+        "new",
+        "unbounded",
+        "with_capacity",
+        "with_capacity_pages",
+        "default",
+    ];
+    for i in 0..ctx.code_len() {
+        if TYPES.iter().any(|t| ctx.ident_is(i, t))
+            && ctx.text(i + 1) == "::"
+            && CTORS.iter().any(|c| ctx.ident_is(i + 2, c))
+            && !ctx.is_test(i)
+        {
+            emit(
+                ctx,
+                out,
+                i,
+                "pool-discipline",
+                format!(
+                    "direct `{}::{}` outside apex-storage / apex_query::batch bypasses \
+                     the shared pool discipline",
+                    ctx.text(i),
+                    ctx.text(i + 2)
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: Cost I/O counter writes outside the storage/executor layers.
+// Linted as a file in crates/query (not exec.rs), expect 3 findings.
+
+pub fn charge(cost: &mut Cost) {
+    cost.pages_read += 1; // line 5: finding
+    cost.extent_pairs = 7; // line 6: finding
+    cost.table_probes += probe_count(); // line 7: finding
+    cost.hash_lookups += 1; // not an I/O counter: clean
+    let snapshot = cost.pages_read; // read, not write: clean
+    let fresh = Cost {
+        pages_read: snapshot, // struct literal, not a field write: clean
+        ..Cost::default()
+    };
+    drop(fresh);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn writes_in_tests_are_fine() {
+        let mut c = Cost::default();
+        c.pages_read += 10; // test code: clean
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: only reads and non-I/O counter writes; clean at any path.
+
+pub fn observe(cost: &Cost, q: &mut Cost) {
+    let pages = cost.pages_read;
+    let pairs = cost.extent_pairs;
+    q.index_edges += 1;
+    q.hash_lookups += pages + pairs;
+    assert!(cost.pages_read == 0 || cost.table_probes <= pairs);
+}

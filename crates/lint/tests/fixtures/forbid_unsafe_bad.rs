@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]`.
+//! `#[forbid(unsafe_code)]` on an item does not count — the crate-level
+//! inner attribute is required.
+
+#[forbid(unsafe_code)]
+pub mod inner {}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying the required attribute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Nothing to see.
+pub fn noop() {}

@@ -1,0 +1,10 @@
+// Fixture: process::exit from a library crate.
+
+pub fn bail(code: i32) {
+    std::process::exit(code); // line 4: finding
+}
+
+pub fn bail_imported(code: i32) {
+    use std::process;
+    process::exit(code); // line 9: finding
+}

@@ -1,0 +1,9 @@
+// Fixture: exit codes carried by value; clean everywhere.
+
+pub fn verdict(ok: bool) -> std::process::ExitCode {
+    if ok {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: panicking calls in library code. The doc mention of
+//! `.unwrap()` here and the string below must NOT fire; the real calls
+//! must.
+
+pub fn brittle(input: Option<u32>, table: &std::collections::HashMap<u32, u32>) -> u32 {
+    let a = input.unwrap(); // line 6: finding
+    let b = table.get(&a).expect("present"); // line 7: finding
+    if *b > 100 {
+        panic!("too big: {b}"); // line 9: finding
+    }
+    let c = input.unwrap_or_default(); // unwrap_or_default is fine
+    let d = input.unwrap_or_else(|| 3); // unwrap_or_else is fine
+    let msg = "calling .unwrap() or panic! in a string is fine";
+    let _ = msg;
+    a + c + d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3); // test code: clean
+        let r: Result<u32, ()> = Ok(1);
+        r.expect("fine in tests"); // test code: clean
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: Result-propagating library code; clean everywhere.
+
+pub fn sturdy(input: Option<u32>) -> Result<u32, String> {
+    let a = input.ok_or_else(|| "missing input".to_string())?;
+    let Some(b) = a.checked_mul(2) else {
+        return Err("overflow".to_string());
+    };
+    Ok(b)
+}

@@ -1,0 +1,17 @@
+// Fixture: terminal output from a library crate.
+
+pub fn chatty(x: u32) {
+    println!("x = {x}"); // line 4: finding
+    eprintln!("warn: {x}"); // line 5: finding
+    print!("{x}"); // line 6: finding
+    let s = "println! in a string is fine";
+    let _ = s;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debug_prints_in_tests_are_fine() {
+        println!("test output is exempt");
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: library output through io::Write; clean everywhere.
+
+use std::io::{self, Write};
+
+pub fn report(mut w: impl Write, x: u32) -> io::Result<()> {
+    writeln!(w, "x = {x}")
+}

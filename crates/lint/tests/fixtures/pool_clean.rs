@@ -1,0 +1,5 @@
+// Fixture: pool access through shared handles; clean everywhere.
+
+pub fn disciplined(buf: &BufferHandle) -> u64 {
+    buf.touch(ObjectId::new(Space::Raw, 1), 8)
+}

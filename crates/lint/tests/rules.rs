@@ -1,0 +1,223 @@
+//! Golden tests: each rule fires on a violating fixture, stays silent on
+//! a clean one, and respects the allow-list paths and suppression
+//! comments. Fixtures live under `tests/fixtures/` and are linted under
+//! synthetic workspace paths so the path-based allow-lists are exercised
+//! without touching the real tree.
+
+use apex_lint::{lint_str, tally, Finding, Severity};
+
+const COST_IO_BAD: &str = include_str!("fixtures/cost_io_bad.rs");
+const COST_IO_CLEAN: &str = include_str!("fixtures/cost_io_clean.rs");
+const NO_PANIC_BAD: &str = include_str!("fixtures/no_panic_bad.rs");
+const NO_PANIC_CLEAN: &str = include_str!("fixtures/no_panic_clean.rs");
+const FORBID_UNSAFE_BAD: &str = include_str!("fixtures/forbid_unsafe_bad.rs");
+const FORBID_UNSAFE_CLEAN: &str = include_str!("fixtures/forbid_unsafe_clean.rs");
+const NO_PRINT_BAD: &str = include_str!("fixtures/no_print_bad.rs");
+const NO_PRINT_CLEAN: &str = include_str!("fixtures/no_print_clean.rs");
+const NO_EXIT_BAD: &str = include_str!("fixtures/no_exit_bad.rs");
+const NO_EXIT_CLEAN: &str = include_str!("fixtures/no_exit_clean.rs");
+const POOL_BAD: &str = include_str!("fixtures/pool_bad.rs");
+const POOL_CLEAN: &str = include_str!("fixtures/pool_clean.rs");
+const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
+const SUPPRESSION_PROBLEMS: &str = include_str!("fixtures/suppression_problems.rs");
+
+/// `(rule, line)` pairs, in report order.
+fn hits(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+/// Assert the fixture produces no findings when linted at `rel_path`.
+fn assert_clean(rel_path: &str, src: &str) {
+    let findings = lint_str(rel_path, src);
+    assert!(
+        findings.is_empty(),
+        "unexpected findings at {rel_path}: {:?}",
+        hits(&findings)
+    );
+}
+
+// --- rule 1: cost-io-writes -------------------------------------------------
+
+#[test]
+fn cost_io_writes_fires_outside_storage_and_exec() {
+    let findings = lint_str("crates/query/src/plan.rs", COST_IO_BAD);
+    assert_eq!(
+        hits(&findings),
+        [
+            ("cost-io-writes", 5),
+            ("cost-io-writes", 6),
+            ("cost-io-writes", 7),
+        ]
+    );
+    assert!(findings.iter().all(|f| f.severity == Severity::Error));
+}
+
+#[test]
+fn cost_io_writes_allows_storage_and_the_executor() {
+    assert_clean("crates/storage/src/cost.rs", COST_IO_BAD);
+    assert_clean("crates/query/src/exec.rs", COST_IO_BAD);
+}
+
+#[test]
+fn cost_io_reads_and_compute_counters_are_clean() {
+    assert_clean("crates/query/src/plan.rs", COST_IO_CLEAN);
+}
+
+// --- rule 2: no-panic -------------------------------------------------------
+
+#[test]
+fn no_panic_fires_in_library_code_only() {
+    let findings = lint_str("crates/core/src/lib.rs", NO_PANIC_BAD);
+    // Line 6 unwrap, line 7 expect, line 9 panic!; the #[cfg(test)]
+    // module, doc comments, and string literals stay silent. The fixture
+    // is also a crate root without `#![forbid(unsafe_code)]`.
+    assert_eq!(
+        hits(&findings),
+        [
+            ("forbid-unsafe", 1),
+            ("no-panic", 6),
+            ("no-panic", 7),
+            ("no-panic", 9),
+        ]
+    );
+}
+
+#[test]
+fn no_panic_exempts_the_cli() {
+    assert_clean("crates/cli/src/util.rs", NO_PANIC_BAD);
+}
+
+#[test]
+fn no_panic_stays_silent_on_result_propagation() {
+    assert_clean("crates/core/src/sturdy.rs", NO_PANIC_CLEAN);
+}
+
+// --- rule 3: forbid-unsafe --------------------------------------------------
+
+#[test]
+fn forbid_unsafe_requires_the_crate_level_attribute() {
+    let findings = lint_str("crates/core/src/lib.rs", FORBID_UNSAFE_BAD);
+    assert_eq!(hits(&findings), [("forbid-unsafe", 1)]);
+
+    let findings = lint_str("crates/cli/src/main.rs", FORBID_UNSAFE_BAD);
+    assert_eq!(hits(&findings), [("forbid-unsafe", 1)]);
+}
+
+#[test]
+fn forbid_unsafe_accepts_the_attribute_and_skips_non_roots() {
+    assert_clean("crates/core/src/lib.rs", FORBID_UNSAFE_CLEAN);
+    // Not a crate root: the rule does not apply.
+    assert_clean("crates/core/src/inner.rs", FORBID_UNSAFE_BAD);
+}
+
+// --- rule 4: no-print -------------------------------------------------------
+
+#[test]
+fn no_print_fires_in_library_crates() {
+    let findings = lint_str("crates/core/src/out.rs", NO_PRINT_BAD);
+    assert_eq!(
+        hits(&findings),
+        [("no-print", 4), ("no-print", 5), ("no-print", 6)]
+    );
+}
+
+#[test]
+fn no_print_exempts_cli_and_bench() {
+    assert_clean("crates/cli/src/report.rs", NO_PRINT_BAD);
+    assert_clean("crates/bench/src/bin/b.rs", NO_PRINT_BAD);
+}
+
+#[test]
+fn no_print_stays_silent_on_writeln_to_a_writer() {
+    assert_clean("crates/core/src/out.rs", NO_PRINT_CLEAN);
+}
+
+// --- rule 5: no-exit --------------------------------------------------------
+
+#[test]
+fn no_exit_fires_in_library_crates() {
+    let findings = lint_str("crates/query/src/driver.rs", NO_EXIT_BAD);
+    assert_eq!(hits(&findings), [("no-exit", 4), ("no-exit", 9)]);
+}
+
+#[test]
+fn no_exit_exempts_the_cli_and_exit_codes() {
+    assert_clean("crates/cli/src/args.rs", NO_EXIT_BAD);
+    assert_clean("crates/query/src/driver.rs", NO_EXIT_CLEAN);
+}
+
+// --- rule 6: pool-discipline ------------------------------------------------
+
+#[test]
+fn pool_discipline_fires_outside_storage_and_batch() {
+    let findings = lint_str("crates/query/src/plan.rs", POOL_BAD);
+    assert_eq!(
+        hits(&findings),
+        [
+            ("pool-discipline", 4),
+            ("pool-discipline", 5),
+            ("pool-discipline", 6),
+            ("pool-discipline", 7),
+        ]
+    );
+}
+
+#[test]
+fn pool_discipline_allows_storage_and_batch() {
+    assert_clean("crates/storage/src/pool.rs", POOL_BAD);
+    assert_clean("crates/query/src/batch.rs", POOL_BAD);
+}
+
+#[test]
+fn pool_discipline_ignores_handle_use() {
+    assert_clean("crates/query/src/plan.rs", POOL_CLEAN);
+}
+
+// --- suppression behavior ---------------------------------------------------
+
+#[test]
+fn justified_suppressions_silence_findings() {
+    // Trailing same-line and standalone line-above forms both work.
+    assert_clean("crates/query/src/plan.rs", SUPPRESSED);
+}
+
+#[test]
+fn suppression_hygiene_is_itself_linted() {
+    let findings = lint_str("crates/query/src/plan.rs", SUPPRESSION_PROBLEMS);
+    assert_eq!(
+        hits(&findings),
+        [
+            // Justification-free allow: the original finding is silenced
+            // but the suppression itself is an error.
+            ("bad-suppression", 4),
+            // Suppression that never fires.
+            ("unused-suppression", 6),
+            // Unknown rule name.
+            ("bad-suppression", 7),
+        ]
+    );
+    let by_line = |l: u32| findings.iter().find(|f| f.line == l).unwrap();
+    assert_eq!(by_line(4).severity, Severity::Error);
+    assert_eq!(by_line(6).severity, Severity::Warning);
+    assert_eq!(by_line(7).severity, Severity::Error);
+    // The suppressed cost write on line 4 must not reappear.
+    assert!(findings.iter().all(|f| f.rule != "cost-io-writes"));
+}
+
+#[test]
+fn tally_counts_errors_and_warnings() {
+    let findings = lint_str("crates/query/src/plan.rs", SUPPRESSION_PROBLEMS);
+    assert_eq!(tally(&findings), (2, 1));
+}
+
+// --- the real workspace stays clean ----------------------------------------
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let findings = apex_lint::lint_workspace(&root).expect("workspace walk");
+    let rendered = apex_lint::render_text(&findings);
+    assert!(findings.is_empty(), "workspace has findings:\n{rendered}");
+}

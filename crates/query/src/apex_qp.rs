@@ -101,7 +101,9 @@ impl<'a> ApexProcessor<'a> {
         // segments = [S_n, S_{n-1}, …, S_{j*}]; the exact union seeds a
         // multi-way join that probes forward through the later segments.
         let mut iter = segments.into_iter().rev();
-        let seed_classes = iter.next().expect("at least the exact segment");
+        let Some(seed_classes) = iter.next() else {
+            return EdgeSet::new(); // unreachable: exact_found implies a segment
+        };
         MultiwayJoin {
             seed: seed_classes.iter().map(|&x| self.source(x)).collect(),
             stages: iter

@@ -115,7 +115,7 @@ pub fn run_batch_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker must not panic"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
     let mut stats = BatchStats::default();

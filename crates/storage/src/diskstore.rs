@@ -90,10 +90,12 @@ impl ExtentStore {
             self.model.pages_for_bytes(buf.len()).max(1),
             Ordering::Relaxed,
         );
+        let corrupt = || io::Error::new(io::ErrorKind::InvalidData, "truncated pair encoding");
         let mut out = Vec::with_capacity(pairs as usize);
         for chunk in buf.chunks_exact(8) {
-            let parent = u32::from_le_bytes(chunk[..4].try_into().expect("4 bytes"));
-            let node = u32::from_le_bytes(chunk[4..].try_into().expect("4 bytes"));
+            let (p, n) = chunk.split_at(4);
+            let parent = u32::from_le_bytes(p.try_into().map_err(|_| corrupt())?);
+            let node = u32::from_le_bytes(n.try_into().map_err(|_| corrupt())?);
             out.push(EdgePair::new(
                 if parent == u32::MAX {
                     NULL_NODE

@@ -296,6 +296,7 @@ impl RawGraphBuilder {
         let mut tags = Vec::with_capacity(self.nodes.len());
         let mut tree_parent = Vec::with_capacity(self.nodes.len());
         for (nid, slot) in self.nodes.into_iter().enumerate() {
+            // apex-lint: allow(no-panic): finish() documents its panic contract for hand-built graphs
             let (tag, parent, value) = slot.unwrap_or_else(|| panic!("nid {nid} not declared"));
             tags.push(tag);
             tree_parent.push(parent);
@@ -311,6 +312,7 @@ impl RawGraphBuilder {
         }
         let mut idrefs: Vec<LabelId> = idref_labels
             .iter()
+            // apex-lint: allow(no-panic): same documented panic contract as the nid check above
             .map(|s| self.labels.get(s).expect("idref label not used in graph"))
             .collect();
         idrefs.sort_unstable();

@@ -71,6 +71,15 @@ impl<'a> Parser<'a> {
         ParseError::new(self.line, self.col, msg)
     }
 
+    /// The input slice `[start, pos)` as text. The parser only splits at
+    /// ASCII delimiters, so this cannot land inside a UTF-8 sequence;
+    /// still, a malformed slice is reported as a parse error rather than
+    /// a panic.
+    fn slice(&self, start: usize) -> Result<&'a str, ParseError> {
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("input is not valid UTF-8"))
+    }
+
     #[inline]
     fn peek(&self) -> Option<u8> {
         self.bytes.get(self.pos).copied()
@@ -132,9 +141,7 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(self.err("expected a name"));
         }
-        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("input was valid utf-8")
-            .to_string())
+        Ok(self.slice(start)?.to_string())
     }
 
     /// Skips prolog junk: XML declaration, comments, PIs, DOCTYPE.
@@ -233,8 +240,7 @@ impl<'a> Parser<'a> {
                             return Err(self.err("unterminated attribute value"));
                         }
                     }
-                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-                        .expect("input was valid utf-8");
+                    let raw = self.slice(start)?;
                     let value = decode_entities(raw, self)?;
                     self.bump(); // closing quote
                     if self.cfg.id_attrs.iter().any(|a| a == &name) {
@@ -275,13 +281,11 @@ impl<'a> Parser<'a> {
                             return Err(self.err("unterminated CDATA"));
                         }
                     }
-                    let text = std::str::from_utf8(&self.bytes[start..self.pos])
-                        .expect("input was valid utf-8");
-                    stack
-                        .last_mut()
-                        .expect("inside element")
-                        .text
-                        .push_str(text);
+                    let text = self.slice(start)?;
+                    let Some(frame) = stack.last_mut() else {
+                        return Err(self.err("CDATA outside any element"));
+                    };
+                    frame.text.push_str(text);
                     self.consume_str("]]>");
                 } else if self.starts_with("<?") {
                     self.consume_str("<?");
@@ -293,7 +297,9 @@ impl<'a> Parser<'a> {
                     if self.bump() != Some(b'>') {
                         return Err(self.err("expected `>` in end tag"));
                     }
-                    let frame = stack.pop().expect("inside element");
+                    let Some(frame) = stack.pop() else {
+                        return Err(self.err(format!("end tag `</{name}>` outside any element")));
+                    };
                     if frame.tag != name {
                         return Err(self.err(format!(
                             "mismatched end tag `</{name}>`, expected `</{}>`",
@@ -307,7 +313,9 @@ impl<'a> Parser<'a> {
                 } else {
                     self.bump(); // '<'
                     let name = self.read_name()?;
-                    let parent = stack.last_mut().expect("inside element");
+                    let Some(parent) = stack.last_mut() else {
+                        return Err(self.err("element outside any open element"));
+                    };
                     parent.has_element_children = true;
                     let parent_node = parent.node;
                     let node = builder.add_child(parent_node, &name);
@@ -329,14 +337,12 @@ impl<'a> Parser<'a> {
                     }
                     self.bump();
                 }
-                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .expect("input was valid utf-8");
+                let raw = self.slice(start)?;
                 let text = decode_entities(raw, self)?;
-                stack
-                    .last_mut()
-                    .expect("inside element")
-                    .text
-                    .push_str(&text);
+                let Some(frame) = stack.last_mut() else {
+                    return Err(self.err("character data outside any element"));
+                };
+                frame.text.push_str(&text);
             }
         }
         Err(self.err("unexpected end of input inside element"))

@@ -132,7 +132,9 @@ pub fn rooted_label_paths(g: &XmlGraph, limits: EnumLimits) -> Vec<LabelPath> {
         }
         let edges = g.out_edges(node);
         if next < edges.len() && labels.len() < limits.max_len {
-            stack.last_mut().expect("non-empty").1 += 1;
+            if let Some(top) = stack.last_mut() {
+                top.1 += 1;
+            }
             let e = edges[next];
             if on_path[e.to.idx()] {
                 continue; // keep data paths simple
