@@ -36,8 +36,23 @@ CLIPPY_EXTRA=(
     -W clippy::unimplemented
 )
 
+# The concurrency stress suite must pass deterministically, not just
+# once: 20 consecutive release-mode runs under a hard timeout. A single
+# flake (torn snapshot, unattributed buffer traffic, stuck refresher)
+# fails the gate.
+stress() {
+    cargo test --release --offline -p apex-suite --test concurrency_stress --quiet
+    for i in $(seq 1 20); do
+        timeout 60 cargo test --release --offline -p apex-suite \
+            --test concurrency_stress --quiet >/dev/null \
+            || { echo "stress iteration $i failed"; exit 1; }
+    done
+    echo "stress: 20/20 iterations green"
+}
+
 run cargo build --release --offline --workspace
 run cargo test --offline --workspace --quiet
+run stress
 run cargo clippy --offline --workspace --all-targets -- "${CLIPPY_EXTRA[@]}" -D warnings
 run cargo run --release --offline --quiet -p apex-lint -- --root .
 run cargo bench --offline --no-run --features apex-bench/bench-harness -p apex-bench

@@ -188,6 +188,43 @@ pub fn print_row_header() {
     );
 }
 
+/// Prints the adaptive-workload table header: one row per index
+/// generation served, plus latency and swap columns.
+pub fn print_adaptive_header() {
+    println!(
+        "{:<18} {:>5} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>7}",
+        "dataset", "gen", "queries", "results", "wall-ms", "p50-us", "p99-us", "swap-ms", "buf-hit"
+    );
+}
+
+/// Prints one adaptive-workload row: the queries served on `row`'s
+/// generation, with the run-level latency percentiles and the wall time
+/// of the swap that *published* this generation (`-` for generation 0
+/// and rows whose swap happened before the run).
+pub fn print_adaptive_row(
+    dataset: &str,
+    row: &apex_query::GenerationRow,
+    stats: &apex_query::AdaptiveStats,
+    swap_ms: Option<f64>,
+) {
+    let hit = match &stats.batch.buf {
+        Some(b) => format!("{:.1}%", b.hit_rate() * 100.0),
+        None => "-".to_string(),
+    };
+    println!(
+        "{:<18} {:>5} {:>9} {:>10} {:>10.1} {:>9.1} {:>9.1} {:>9} {:>7}",
+        dataset,
+        row.generation,
+        row.queries,
+        row.result_nodes,
+        row.wall.as_secs_f64() * 1e3,
+        stats.p50.as_secs_f64() * 1e6,
+        stats.p99.as_secs_f64() * 1e6,
+        swap_ms.map_or("-".to_string(), |ms| format!("{ms:.2}")),
+        hit
+    );
+}
+
 /// Prints one figure row from a batch result. The `buf-hit` column is
 /// the cross-query buffer pool's hit rate over the batch (`-` for
 /// processors that do not expose a pool).

@@ -30,10 +30,11 @@
 #![forbid(unsafe_code)]
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::sync::{Arc, Mutex};
 
-use apex::{persist, Apex, RefreshPolicy, WorkloadMonitor};
+use apex::{persist, Apex, IndexCell, RefreshPolicy, Refresher, WorkloadMonitor};
 use apex_query::apex_qp::ApexProcessor;
-use apex_query::batch::QueryProcessor;
+use apex_query::batch::{run_adaptive, QueryProcessor};
 use apex_query::explain::explain_apex;
 use apex_query::Query;
 use apex_storage::bufmgr::BufferHandle;
@@ -53,13 +54,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let refresh_every = match take_refresh_every(&mut args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let g = match load_graph(&args) {
-        Ok(g) => g,
+        Ok(g) => Arc::new(g),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: apex-cli --file <xml> | --dataset <Table1-name|play|flix|ged> \
-                 [--size N] [--buffer-pages N]"
+                 [--size N] [--buffer-pages N] [--refresh-every N]"
             );
             std::process::exit(2);
         }
@@ -74,7 +82,14 @@ fn main() {
 
     let table = DataTable::build(&g, PageModel::default());
     let mut index = Apex::build_initial(&g);
-    let mut monitor = WorkloadMonitor::new(1000, 0.1, RefreshPolicy::Manual);
+    let policy = match refresh_every {
+        Some(n) => {
+            println!("refresh policy: every {n} recorded queries");
+            RefreshPolicy::EveryN(n)
+        }
+        None => RefreshPolicy::Manual,
+    };
+    let mut monitor = WorkloadMonitor::new(1000, 0.1, policy);
     // One buffer pool for the whole session: queries warm it, repeats
     // hit it. Processors are rebuilt per eval (tune/load swap the
     // index) but share this pool through cloned handles.
@@ -179,10 +194,16 @@ fn main() {
                 ),
                 Err(e) => println!("parse error: {e}"),
             },
+            Ok(Command::Serve(n)) => {
+                serve(&g, &table, &buf, &mut index, &mut monitor, n);
+            }
             Ok(Command::Eval(text)) => match Query::parse(&g, &text) {
                 Ok(q) => {
                     if let Some(labels) = q.labels() {
                         monitor.record(LabelPath::new(labels.to_vec()));
+                        if let Some(steps) = monitor.maybe_refresh(&g, &mut index) {
+                            println!("auto-refreshed in {steps} update steps (policy)");
+                        }
                     }
                     let before = buf.stats();
                     let qp = ApexProcessor::with_buffer(&g, &index, &table, buf.clone());
@@ -216,6 +237,100 @@ fn main() {
         }
     }
     println!("bye");
+}
+
+/// Replays the recorded workload window (cycled to `n` queries) through
+/// the concurrent serving layer: the index moves into an [`IndexCell`],
+/// a background [`Refresher`] adapts it as the replay re-records the
+/// queries, and the final snapshot + monitor state move back into the
+/// shell when the run completes.
+fn serve(
+    g: &Arc<XmlGraph>,
+    table: &DataTable,
+    buf: &BufferHandle,
+    index: &mut Apex,
+    monitor: &mut WorkloadMonitor,
+    n: usize,
+) {
+    let window: Vec<LabelPath> = monitor.workload().iter().cloned().collect();
+    if window.is_empty() {
+        println!("no recorded workload — run some queries first");
+        return;
+    }
+    if matches!(monitor.policy(), RefreshPolicy::Manual) {
+        println!("note: refresh policy is manual; start with --refresh-every N to see swaps");
+    }
+    let queries: Vec<Query> = window
+        .iter()
+        .cycle()
+        .take(n)
+        .map(|p| Query::PartialPath {
+            labels: p.labels().to_vec(),
+        })
+        .collect();
+    let cell = Arc::new(IndexCell::new(index.clone()));
+    let shared_monitor = Arc::new(Mutex::new(monitor.clone()));
+    let refresher = match Refresher::spawn(
+        Arc::clone(g),
+        Arc::clone(&cell),
+        Arc::clone(&shared_monitor),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("cannot spawn refresher: {e}");
+            return;
+        }
+    };
+    let stats = run_adaptive(g, table, &cell, &shared_monitor, &refresher, &queries, buf);
+    refresher.wait_idle();
+    let serve_stats = refresher.shutdown();
+    println!("{}", stats.summary());
+    for line in stats.generation_lines() {
+        println!("  {line}");
+    }
+    println!(
+        "refreshes: {} published, {} coalesced, {} empty windows | swap wall total {:.2} ms, max {:.2} ms",
+        serve_stats.refreshes,
+        serve_stats.coalesced,
+        serve_stats.empty_windows,
+        serve_stats.swap_total().as_secs_f64() * 1e3,
+        serve_stats.swap_max().as_secs_f64() * 1e3,
+    );
+    for r in &serve_stats.records {
+        println!(
+            "  swap -> gen {}: {} update steps over {} queries in {:.2} ms",
+            r.generation,
+            r.steps,
+            r.window,
+            r.wall.as_secs_f64() * 1e3
+        );
+    }
+    // Adopt the final published index and the replay's monitor state.
+    *index = cell.snapshot().index().clone();
+    *monitor = shared_monitor
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone();
+    println!("adopted gen {} as the session index", cell.generation());
+}
+
+/// Extracts `--refresh-every N` from `args` (removing it), selecting the
+/// `EveryN` refresh policy for the session monitor.
+fn take_refresh_every(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let Some(i) = args.iter().position(|a| a == "--refresh-every") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("--refresh-every needs a number".into());
+    }
+    let every: usize = args[i + 1]
+        .parse()
+        .map_err(|_| format!("--refresh-every: not a number: {}", args[i + 1]))?;
+    if every == 0 {
+        return Err("--refresh-every must be at least 1".into());
+    }
+    args.drain(i..=i + 1);
+    Ok(Some(every))
 }
 
 /// Extracts `--buffer-pages N` from `args` (removing it) so

@@ -23,6 +23,9 @@ pub enum Command {
     Save(String),
     /// Restore the index.
     Load(String),
+    /// Serve n queries replayed from the recorded workload through the
+    /// concurrent adaptive layer (snapshot cell + background refresher).
+    Serve(usize),
     /// Show help.
     Help,
     /// Exit.
@@ -46,6 +49,12 @@ pub const HELP: &str = "\
   workload | stats | required | labels   inspect state
   buffer                                 cross-query buffer-pool state
   save <path> | load <path>              persist / restore the index
+  serve [n]                              replay the recorded workload (n
+                                         queries, default 200) through the
+                                         adaptive serving layer: snapshot
+                                         swaps happen in a background
+                                         refresher while queries answer
+                                         (alias: adapt; see --refresh-every)
   help | quit";
 
 /// Parses one input line.
@@ -76,6 +85,15 @@ pub fn parse_command(line: &str) -> Result<Command, ReplError> {
             .map_err(|_| ReplError::Unknown(format!("tune {rest}"))),
         "save" if !rest.is_empty() => Ok(Command::Save(rest.to_string())),
         "load" if !rest.is_empty() => Ok(Command::Load(rest.to_string())),
+        "serve" | "adapt" => {
+            if rest.is_empty() {
+                Ok(Command::Serve(200))
+            } else {
+                rest.parse::<usize>()
+                    .map(Command::Serve)
+                    .map_err(|_| ReplError::Unknown(format!("{word} {rest}")))
+            }
+        }
         other => Err(ReplError::Unknown(other.to_string())),
     }
 }
@@ -106,6 +124,13 @@ mod tests {
             Ok(Command::Save("/tmp/x.idx".into()))
         );
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
+        assert_eq!(parse_command("serve"), Ok(Command::Serve(200)));
+        assert_eq!(parse_command("serve 500"), Ok(Command::Serve(500)));
+        assert_eq!(parse_command("adapt 50"), Ok(Command::Serve(50)));
+        assert!(matches!(
+            parse_command("serve lots"),
+            Err(ReplError::Unknown(_))
+        ));
     }
 
     #[test]

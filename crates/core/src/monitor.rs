@@ -88,6 +88,26 @@ impl WorkloadMonitor {
         self.min_sup
     }
 
+    /// The configured refresh policy.
+    pub fn policy(&self) -> RefreshPolicy {
+        self.policy
+    }
+
+    /// Replaces the refresh policy (e.g. CLI `--refresh-every`).
+    pub fn set_policy(&mut self, policy: RefreshPolicy) {
+        self.policy = policy;
+    }
+
+    /// Hands the current window to a refresher and marks the refresh as
+    /// taken: returns `(workload, min_sup)` and resets the
+    /// since-refresh counter. This is the monitor half of a refresh
+    /// cycle — used by `core::serve` where the rebuild itself happens on
+    /// a private index copy outside the monitor lock.
+    pub fn drain_for_refresh(&mut self) -> (Workload, f64) {
+        self.since_refresh = 0;
+        (self.workload(), self.min_sup)
+    }
+
     /// Decides whether a refresh is due for `index` (per policy).
     pub fn refresh_due(&self, g: &XmlGraph, index: &Apex) -> bool {
         if self.window.is_empty() {
@@ -151,10 +171,8 @@ impl WorkloadMonitor {
     /// configured `min_sup` for this round and becomes the new setting).
     pub fn refresh_at(&mut self, g: &XmlGraph, index: &mut Apex, min_sup: f64) -> usize {
         self.min_sup = min_sup;
-        let wl = self.workload();
-        let steps = index.refine(g, &wl, min_sup);
-        self.since_refresh = 0;
-        steps
+        let (wl, min_sup) = self.drain_for_refresh();
+        index.refine(g, &wl, min_sup)
     }
 }
 

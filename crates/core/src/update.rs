@@ -154,6 +154,100 @@ pub fn update_apex(g: &XmlGraph, ga: &mut GApex, ht: &mut HashTree, xroot: XNode
     steps
 }
 
+/// Certifies that two indexes over the same graph are
+/// *extent-equivalent*: they answer every label-path query with the
+/// same extent. Returns the first discrepancy as an error message.
+///
+/// Used by the update-equivalence suite to check that incremental
+/// `updateAPEX` on a live index converges to the same fixpoint as a
+/// from-scratch build over the final workload. The probe set is the
+/// union of both indexes' required paths, every single label, and every
+/// required path extended by one label on either side — by the
+/// subpath-closure argument in the module docs, a divergence in any
+/// longer path implies a divergence in one of these.
+pub fn extent_equivalent(g: &XmlGraph, a: &crate::Apex, b: &crate::Apex) -> Result<(), String> {
+    use std::collections::BTreeSet;
+
+    let req_a: BTreeSet<String> = a.required_paths(g).into_iter().collect();
+    let req_b: BTreeSet<String> = b.required_paths(g).into_iter().collect();
+    if req_a != req_b {
+        let only_a: Vec<_> = req_a.difference(&req_b).cloned().collect();
+        let only_b: Vec<_> = req_b.difference(&req_a).cloned().collect();
+        return Err(format!(
+            "required paths differ: only in a: {only_a:?}; only in b: {only_b:?}"
+        ));
+    }
+
+    let all_labels: Vec<LabelId> = (0..g.label_count() as u32).map(LabelId).collect();
+    let mut probes: BTreeSet<Vec<LabelId>> = BTreeSet::new();
+    for l in &all_labels {
+        probes.insert(vec![*l]);
+    }
+    for rendered in &req_a {
+        let Some(path) = xmlgraph::LabelPath::parse(g, rendered) else {
+            return Err(format!("required path {rendered:?} fails to re-parse"));
+        };
+        let base = path.labels().to_vec();
+        probes.insert(base.clone());
+        for l in &all_labels {
+            let mut pre = Vec::with_capacity(base.len() + 1);
+            pre.push(*l);
+            pre.extend_from_slice(&base);
+            probes.insert(pre);
+            let mut suf = base.clone();
+            suf.push(*l);
+            probes.insert(suf);
+        }
+    }
+
+    for path in &probes {
+        let rendered = || {
+            path.iter()
+                .map(|l| g.labels().resolve(*l).to_string())
+                .collect::<Vec<_>>()
+                .join(".")
+        };
+        let la = a.lookup(path);
+        let lb = b.lookup(path);
+        if la.matched_len != lb.matched_len {
+            return Err(format!(
+                "lookup({}) matched_len {} vs {}",
+                rendered(),
+                la.matched_len,
+                lb.matched_len
+            ));
+        }
+        match (la.xnode, lb.xnode) {
+            (None, None) => {}
+            (Some(xa), Some(xb)) => {
+                if a.extent(xa) != b.extent(xb) {
+                    return Err(format!(
+                        "lookup({}) extents differ: {} vs {} pairs",
+                        rendered(),
+                        a.extent(xa).len(),
+                        b.extent(xb).len()
+                    ));
+                }
+            }
+            (xa, xb) => {
+                return Err(format!(
+                    "lookup({}) materialization differs: {} vs {}",
+                    rendered(),
+                    xa.is_some(),
+                    xb.is_some()
+                ));
+            }
+        }
+    }
+
+    let sa = a.stats();
+    let sb = b.stats();
+    if sa != sb {
+        return Err(format!("index stats differ: {sa:?} vs {sb:?}"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,15 +29,28 @@ use crate::ast::Query;
 use crate::batch::{QueryOutput, QueryProcessor};
 use crate::exec::{self, DataProbe, ExecContext, ExtentScan, IndexNav, MultiwayJoin};
 
+/// Byte stride separating the page-packed node layouts of successive
+/// index generations inside [`Space::ApexNode`] (1 TiB per generation —
+/// far above any real layout, and a multiple of every page size in use,
+/// so the derived page ids of distinct generations never collide).
+const NAV_TAG_STRIDE: u64 = 1 << 40;
+
 /// Query processor over an [`Apex`] index.
 pub struct ApexProcessor<'a> {
     g: &'a XmlGraph,
     apex: &'a Apex,
     table: &'a DataTable,
     buf: BufferHandle,
+    /// Generation tag mixed into every buffer-pool identity (high 32
+    /// bits of extent object ids; `NAV_TAG_STRIDE` byte offset of the
+    /// node layout). A rebuilt index reuses `XNodeId`s for different
+    /// extents, so snapshot swaps without distinct tags would score
+    /// phantom pool hits on stale cached objects.
+    tag: u64,
     /// Page-packed byte offsets of `G_APEX` node records (16 bytes
     /// header + 8 per edge): node `x` occupies
-    /// `node_offsets[x]..node_offsets[x+1]` of [`Space::ApexNode`].
+    /// `node_offsets[x]..node_offsets[x+1]` of [`Space::ApexNode`],
+    /// shifted by the generation tag's stride.
     node_offsets: Vec<u64>,
 }
 
@@ -54,14 +67,34 @@ impl<'a> ApexProcessor<'a> {
         table: &'a DataTable,
         buf: BufferHandle,
     ) -> Self {
-        let node_offsets = exec::record_layout(
+        Self::with_buffer_tagged(g, apex, table, buf, 0)
+    }
+
+    /// Creates a processor charging against a shared buffer pool under a
+    /// generation tag — used by adaptive serving, where processors over
+    /// different index snapshots share one pool and `tag` is the
+    /// snapshot's generation (must be `< 2³²`; generations are swap
+    /// counts, far below that).
+    pub fn with_buffer_tagged(
+        g: &'a XmlGraph,
+        apex: &'a Apex,
+        table: &'a DataTable,
+        buf: BufferHandle,
+        tag: u64,
+    ) -> Self {
+        let mut node_offsets = exec::record_layout(
             (0..apex.graph().allocated()).map(|i| 16 + 8 * apex.out_edges(XNodeId(i as u32)).len()),
         );
+        let base = tag * NAV_TAG_STRIDE;
+        for off in &mut node_offsets {
+            *off += base;
+        }
         ApexProcessor {
             g,
             apex,
             table,
             buf,
+            tag,
             node_offsets,
         }
     }
@@ -69,7 +102,7 @@ impl<'a> ApexProcessor<'a> {
     /// `(buffer id, extent)` source for class node `x`.
     fn source(&self, x: XNodeId) -> (u64, &'a EdgeSet) {
         let r = self.apex.extent_ref(x);
-        (r.id, r.set)
+        ((self.tag << 32) | r.id, r.set)
     }
 
     /// QTYPE1 evaluation returning the final edge set.
@@ -403,6 +436,25 @@ mod tests {
         // combination yields empty.
         let q = q1(&g, "title.actor");
         assert!(ap.eval(&q).nodes.is_empty());
+    }
+
+    #[test]
+    fn generation_tags_partition_the_shared_pool() {
+        let g = moviedb();
+        let (idx, t) = setup(&g, &["actor.name"]);
+        let buf = BufferHandle::unbounded();
+        let q = q1(&g, "actor.name");
+        let gen0 = ApexProcessor::with_buffer_tagged(&g, &idx, &t, buf.clone(), 0);
+        let cold0 = gen0.eval(&q);
+        assert!(cold0.cost.pages_read > 0);
+        assert_eq!(gen0.eval(&q).cost.pages_read, 0, "same tag re-runs hit");
+        // A processor over the *same* index under a different tag models
+        // a freshly published snapshot: its objects are distinct, so the
+        // first run must miss instead of phantom-hitting gen-0 pages.
+        let gen1 = ApexProcessor::with_buffer_tagged(&g, &idx, &t, buf.clone(), 1);
+        let cold1 = gen1.eval(&q);
+        assert_eq!(cold1.cost.pages_read, cold0.cost.pages_read);
+        assert_eq!(gen1.eval(&q).cost.pages_read, 0);
     }
 
     #[test]

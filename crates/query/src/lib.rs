@@ -39,7 +39,10 @@ pub mod guide_qp;
 pub mod naive;
 
 pub use ast::Query;
-pub use batch::{run_batch, run_batch_parallel, BatchStats, QueryOutput, QueryProcessor};
+pub use batch::{
+    run_adaptive, run_batch, run_batch_parallel, AdaptiveStats, BatchStats, GenerationRow,
+    QueryOutput, QueryProcessor,
+};
 pub use exec::ExecContext;
 pub use explain::{explain_apex, Plan, SegmentPlan};
 pub use generator::{GeneratorConfig, QuerySets};

@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::ops::Sub;
+use std::ops::{Add, AddAssign, Sub};
 use std::sync::{Arc, Mutex};
 
 use crate::pages::PageModel;
@@ -103,6 +103,25 @@ impl Sub for BufferStats {
     }
 }
 
+impl Add for BufferStats {
+    type Output = BufferStats;
+    /// Counter sum, for aggregating per-worker scoped deltas.
+    fn add(self, other: BufferStats) -> BufferStats {
+        BufferStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            pages_read: self.pages_read + other.pages_read,
+        }
+    }
+}
+
+impl AddAssign for BufferStats {
+    fn add_assign(&mut self, other: BufferStats) {
+        *self = *self + other;
+    }
+}
+
 impl fmt::Display for BufferStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -186,14 +205,26 @@ impl BufferManager {
 
     /// [`BufferManager::touch`] with an explicit page count.
     pub fn touch_pages(&mut self, id: ObjectId, pages: u64) -> u64 {
+        self.touch_pages_delta(id, pages).pages_read
+    }
+
+    /// [`BufferManager::touch_pages`] returning the full counter delta of
+    /// this one touch (exactly one of `hits`/`misses` is 1; `evictions`
+    /// are attributed to the touch that forced them). Scoped handles sum
+    /// these so per-worker deltas partition the pool-level delta.
+    fn touch_pages_delta(&mut self, id: ObjectId, pages: u64) -> BufferStats {
+        let mut delta = BufferStats::default();
         if let Some(&slot) = self.map.get(&id) {
             self.stats.hits += 1;
+            delta.hits = 1;
             self.unlink(slot);
             self.push_front(slot);
-            return 0;
+            return delta;
         }
         self.stats.misses += 1;
         self.stats.pages_read += pages;
+        delta.misses = 1;
+        delta.pages_read = pages;
         let slot = match self.free.pop() {
             Some(s) => {
                 self.frames[s] = Frame {
@@ -226,8 +257,9 @@ impl BufferManager {
             self.map.remove(&f.id);
             self.free.push(victim);
             self.stats.evictions += 1;
+            delta.evictions += 1;
         }
-        pages
+        delta
     }
 
     /// Counters since construction (or the last [`Self::reset_stats`]).
@@ -300,13 +332,28 @@ impl BufferManager {
 /// through clones of this handle; all access is behind one mutex (the
 /// touch path is a hash probe plus two list splices, so the critical
 /// section is tiny).
+///
+/// Each handle additionally tallies the touches made *through it* in a
+/// local [`BufferStats`] counter. `clone()` shares the local counter
+/// (clones are the same logical client); [`BufferHandle::scoped`]
+/// derives a handle over the same pool with a **fresh** local counter.
+/// Because every pool-level counter movement is attributed to exactly
+/// one touching handle, the scoped deltas of disjoint handles partition
+/// the pool-level delta — the invariant the concurrency stress test
+/// pins across index-snapshot swaps.
 #[derive(Debug, Clone)]
-pub struct BufferHandle(Arc<Mutex<BufferManager>>);
+pub struct BufferHandle {
+    pool: Arc<Mutex<BufferManager>>,
+    local: Arc<Mutex<BufferStats>>,
+}
 
 impl BufferHandle {
     /// Wraps a manager.
     pub fn new(mgr: BufferManager) -> Self {
-        BufferHandle(Arc::new(Mutex::new(mgr)))
+        BufferHandle {
+            pool: Arc::new(Mutex::new(mgr)),
+            local: Arc::new(Mutex::new(BufferStats::default())),
+        }
     }
 
     /// An unbounded pool over the default page model.
@@ -319,16 +366,37 @@ impl BufferHandle {
         Self::new(BufferManager::new(PageModel::default(), pages))
     }
 
+    /// A handle over the same pool with a fresh local counter: what each
+    /// worker of a parallel or adaptive batch holds, so its share of the
+    /// pool traffic is separable from the batch total.
+    pub fn scoped(&self) -> BufferHandle {
+        BufferHandle {
+            pool: Arc::clone(&self.pool),
+            local: Arc::new(Mutex::new(BufferStats::default())),
+        }
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, BufferManager> {
         // A worker panicking mid-touch leaves only counters in an
         // arguable state; the pool structure is updated atomically per
         // touch, so continuing past a poison is sound.
-        self.0.lock().unwrap_or_else(|p| p.into_inner())
+        self.pool.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn note_local(&self, delta: BufferStats) {
+        let mut local = self.local.lock().unwrap_or_else(|p| p.into_inner());
+        *local += delta;
     }
 
     /// Touches one object; returns pages read (0 on hit).
     pub fn touch(&self, id: ObjectId, bytes: usize) -> u64 {
-        self.lock().touch(id, bytes)
+        let delta = {
+            let mut mgr = self.lock();
+            let pages = mgr.model().pages_for_bytes(bytes).max(1);
+            mgr.touch_pages_delta(id, pages)
+        };
+        self.note_local(delta);
+        delta.pages_read
     }
 
     /// Touches every page overlapping `bytes` (half-open) in a
@@ -337,14 +405,31 @@ impl BufferHandle {
         if bytes.start >= bytes.end {
             return 0;
         }
-        let mut mgr = self.lock();
-        let psz = mgr.model().page_size as u64;
-        let (first, last) = (bytes.start / psz, (bytes.end - 1) / psz);
-        let mut read = 0;
-        for page in first..=last {
-            read += mgr.touch_pages(ObjectId::new(space, page), 1);
-        }
-        read
+        let delta = {
+            let mut mgr = self.lock();
+            let psz = mgr.model().page_size as u64;
+            let (first, last) = (bytes.start / psz, (bytes.end - 1) / psz);
+            let mut delta = BufferStats::default();
+            for page in first..=last {
+                delta += mgr.touch_pages_delta(ObjectId::new(space, page), 1);
+            }
+            delta
+        };
+        self.note_local(delta);
+        delta.pages_read
+    }
+
+    /// Counters for touches made through this handle (and its `clone`s)
+    /// since creation or the last [`BufferHandle::reset_scoped_stats`].
+    /// Handles from [`BufferHandle::scoped`] tally independently.
+    pub fn scoped_stats(&self) -> BufferStats {
+        *self.local.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Zeroes this handle's local counters (pool counters unaffected).
+    pub fn reset_scoped_stats(&self) {
+        let mut local = self.local.lock().unwrap_or_else(|p| p.into_inner());
+        *local = BufferStats::default();
     }
 
     /// Current counters.
@@ -461,6 +546,57 @@ mod tests {
         // object missed exactly once regardless of interleaving.
         assert_eq!(s.misses, 32);
         assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn scoped_handles_partition_pool_delta() {
+        let h = BufferHandle::with_capacity_pages(8);
+        let before = h.stats();
+        let workers: Vec<BufferHandle> = (0..4).map(|_| h.scoped()).collect();
+        std::thread::scope(|scope| {
+            for (t, w) in workers.iter().enumerate() {
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        w.touch(
+                            ObjectId::new(Space::TablePage, (t as u64 * 3 + i) % 16),
+                            100,
+                        );
+                    }
+                });
+            }
+        });
+        let pool_delta = h.stats() - before;
+        let summed = workers
+            .iter()
+            .map(|w| w.scoped_stats())
+            .fold(BufferStats::default(), |a, b| a + b);
+        assert_eq!(
+            summed, pool_delta,
+            "scoped deltas must partition the pool delta"
+        );
+        assert_eq!(summed.hits + summed.misses, 200);
+        // The parent handle made no touches of its own.
+        assert_eq!(h.scoped_stats(), BufferStats::default());
+    }
+
+    #[test]
+    fn clones_share_a_local_counter_scoped_does_not() {
+        let h = BufferHandle::unbounded();
+        let c = h.clone();
+        let s = h.scoped();
+        h.touch(ext(1), 1);
+        c.touch(ext(2), 1);
+        s.touch(ext(3), 1);
+        assert_eq!(
+            h.scoped_stats().misses,
+            2,
+            "clone tallies into the same counter"
+        );
+        assert_eq!(s.scoped_stats().misses, 1);
+        s.reset_scoped_stats();
+        assert_eq!(s.scoped_stats(), BufferStats::default());
+        // Pool-level counters saw everything.
+        assert_eq!(h.stats().misses, 3);
     }
 
     #[test]

@@ -146,6 +146,116 @@ fn double_roundtrip_is_stable() {
     assert_write_stable(&g2);
 }
 
+/// Persistence fidelity under randomization: `persist::save` →
+/// `persist::load` must preserve extents, the hash tree's required
+/// paths, and the answers of every query — for arbitrary graphs,
+/// workloads, and refinement thresholds.
+mod persist_proptest {
+    use apex::{extent_equivalent, persist, Apex, Workload};
+    use apex_query::apex_qp::ApexProcessor;
+    use apex_query::batch::QueryProcessor;
+    use apex_query::Query;
+    use apex_storage::{DataTable, PageModel};
+    use proptest::prelude::*;
+    use xmlgraph::builder::RawGraphBuilder;
+    use xmlgraph::{LabelPath, XmlGraph};
+
+    const ALPHABET: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+    #[derive(Debug, Clone)]
+    struct RandGraph {
+        parents: Vec<usize>,
+        tags: Vec<usize>,
+        extras: Vec<(usize, usize)>,
+    }
+
+    fn rand_graph(max_nodes: usize) -> impl Strategy<Value = RandGraph> {
+        (2..max_nodes).prop_flat_map(|n| {
+            let parents = (1..n).map(|i| (0..i).boxed()).collect::<Vec<_>>();
+            let tags = proptest::collection::vec(0..ALPHABET.len(), n - 1);
+            let extras = proptest::collection::vec((0..n, 1..n), 0..n / 2);
+            (parents, tags, extras).prop_map(|(parents, tags, extras)| RandGraph {
+                parents,
+                tags,
+                extras,
+            })
+        })
+    }
+
+    fn materialize(rg: &RandGraph) -> XmlGraph {
+        let n = rg.parents.len() + 1;
+        let mut b = RawGraphBuilder::new();
+        b.node(0, "root", None, None);
+        for i in 1..n {
+            let tag = ALPHABET[rg.tags[i - 1]];
+            b.node(i as u32, tag, Some(rg.parents[i - 1] as u32), None);
+            b.edge(rg.parents[i - 1] as u32, tag, i as u32);
+        }
+        for &(from, to) in &rg.extras {
+            if from == to {
+                continue;
+            }
+            b.edge(from as u32, ALPHABET[rg.tags[to - 1]], to as u32);
+        }
+        b.finish(&[])
+    }
+
+    fn rand_paths(max_len: usize, count: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(0..ALPHABET.len(), 1..=max_len),
+            1..=count,
+        )
+    }
+
+    fn to_label_path(g: &XmlGraph, idxs: &[usize]) -> Option<LabelPath> {
+        let labels = idxs
+            .iter()
+            .map(|&i| g.label_id(ALPHABET[i]))
+            .collect::<Option<Vec<_>>>()?;
+        Some(LabelPath::new(labels))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        #[test]
+        fn save_load_preserves_extents_required_paths_and_answers(
+            rg in rand_graph(30),
+            workload_paths in rand_paths(3, 6),
+            query_paths in rand_paths(4, 10),
+            min_sup in 0.05f64..0.9,
+        ) {
+            let g = materialize(&rg);
+            let mut apex = Apex::build_initial(&g);
+            let wl = Workload::from_paths(
+                workload_paths.iter().filter_map(|p| to_label_path(&g, p)).collect(),
+            );
+            apex.refine(&g, &wl, min_sup);
+
+            let mut bytes = Vec::new();
+            persist::save(&apex, &mut bytes).expect("save");
+            let loaded = persist::load(&mut bytes.as_slice()).expect("load");
+
+            // Hash-tree required paths survive byte-exactly.
+            prop_assert_eq!(apex.required_paths(&g), loaded.required_paths(&g));
+            // Full extent-equivalence certification (extents, lookups,
+            // reachable structure).
+            if let Err(why) = extent_equivalent(&g, &apex, &loaded) {
+                prop_assert!(false, "loaded index not extent-equivalent: {}", why);
+            }
+            // Query answers are identical through the full processor.
+            let table = DataTable::build(&g, PageModel::default());
+            let qp_a = ApexProcessor::new(&g, &apex, &table);
+            let qp_b = ApexProcessor::new(&g, &loaded, &table);
+            for qp in &query_paths {
+                let Some(path) = to_label_path(&g, qp) else { continue };
+                let q = Query::PartialPath { labels: path.0.clone() };
+                prop_assert_eq!(qp_a.eval(&q).nodes, qp_b.eval(&q).nodes);
+            }
+        }
+    }
+}
+
 #[test]
 fn moviedb_roundtrip() {
     let g = xmlgraph::builder::moviedb();

@@ -1,0 +1,141 @@
+//! Update-equivalence suite (satellite of the serving layer): random
+//! query-insert sequences over the three datagen families, applied
+//! incrementally to a *live* index (periodic `refine` = extraction +
+//! `updateAPEX` on the current structure), must converge to an index
+//! extent-equivalent to a from-scratch build over the final recorded
+//! state.
+//!
+//! This is the fixpoint property the paper's §5.3 incremental update
+//! claims — and the property the concurrent serving layer leans on:
+//! a refresher that repeatedly refines a private copy of the *current*
+//! snapshot must land on the same index a cold rebuild would, or
+//! generations would drift apart over a long-running service.
+
+use apex::{extent_equivalent, Apex, RefreshPolicy, WorkloadMonitor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlgraph::{LabelPath, NodeId, XmlGraph};
+
+/// Random label paths that exist in `g` (random walks from random
+/// nodes), so the recorded workload actually exercises extents.
+fn random_walk_paths(
+    g: &XmlGraph,
+    rng: &mut SmallRng,
+    count: usize,
+    max_len: usize,
+) -> Vec<LabelPath> {
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < count * 20 {
+        attempts += 1;
+        let mut cur = NodeId(rng.gen_range(0..g.node_count() as u32));
+        let mut labels = Vec::new();
+        let len = rng.gen_range(1..=max_len);
+        for _ in 0..len {
+            let edges = g.out_edges(cur);
+            if edges.is_empty() {
+                break;
+            }
+            let e = &edges[rng.gen_range(0..edges.len())];
+            labels.push(e.label);
+            cur = e.to;
+        }
+        if !labels.is_empty() {
+            out.push(LabelPath::new(labels));
+        }
+    }
+    assert!(!out.is_empty(), "walk generation produced no paths");
+    out
+}
+
+/// Drives a random insert sequence with periodic live refreshes on one
+/// index, then certifies extent-equivalence against a from-scratch
+/// `build_initial` + single `refine` over the final window.
+fn check_family(g: &XmlGraph, seed: u64, inserts: usize, refresh_every: usize, min_sup: f64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // A pool of hot candidate paths; the insert sequence samples from it
+    // with drifting weights, so paths become and stop being frequent
+    // across refreshes (exercising both growth and pruning in
+    // updateAPEX).
+    let pool = random_walk_paths(g, &mut rng, 12, 3);
+
+    let mut live = Apex::build_initial(g);
+    let mut monitor = WorkloadMonitor::new(refresh_every, min_sup, RefreshPolicy::Manual);
+    let mut refreshes = 0usize;
+    for i in 0..inserts {
+        // Drift: the hot region of the pool slides with i.
+        let hot = (i * pool.len()) / inserts.max(1);
+        let pick = if rng.gen_range(0..100) < 70 {
+            hot % pool.len()
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        monitor.record(pool[pick].clone());
+        if (i + 1) % refresh_every == 0 {
+            monitor.refresh(g, &mut live);
+            refreshes += 1;
+        }
+    }
+    // Final refresh so the live index reflects exactly the final window.
+    monitor.refresh(g, &mut live);
+    refreshes += 1;
+    assert!(refreshes >= 3, "sequence must exercise multiple refreshes");
+
+    // From-scratch build over the final state: APEX⁰ + one refine with
+    // the final window at the same threshold.
+    let mut scratch = Apex::build_initial(g);
+    scratch.refine(g, &monitor.workload(), monitor.min_sup());
+
+    if let Err(why) = extent_equivalent(g, &live, &scratch) {
+        panic!("live index diverged from from-scratch build (seed {seed}): {why}");
+    }
+    // Both must also pass the structural validator.
+    let v = apex::validate::check(g, &live);
+    assert!(v.is_empty(), "live index invalid: {v:#?}");
+}
+
+#[test]
+fn shakespeare_insert_sequences_converge() {
+    let g = apex_suite::small::play();
+    for seed in [1u64, 2, 3] {
+        check_family(&g, 0x5AE5_0000 + seed, 120, 30, 0.1);
+    }
+}
+
+#[test]
+fn flixml_insert_sequences_converge() {
+    let g = apex_suite::small::flix();
+    for seed in [1u64, 2, 3] {
+        check_family(&g, 0xF11C_0000 + seed, 120, 30, 0.1);
+    }
+}
+
+#[test]
+fn gedml_insert_sequences_converge() {
+    let g = apex_suite::small::ged();
+    for seed in [1u64, 2, 3] {
+        check_family(&g, 0x6ED0_0000 + seed, 120, 30, 0.08);
+    }
+}
+
+#[test]
+fn window_capacity_bounds_the_final_state() {
+    // The window (not the full history) defines the final state: a
+    // sequence twice the window long must equal a scratch build over
+    // just the surviving window.
+    let g = apex_suite::small::flix();
+    let mut rng = SmallRng::seed_from_u64(0xCAFE);
+    let pool = random_walk_paths(&g, &mut rng, 8, 3);
+    let mut live = Apex::build_initial(&g);
+    let mut monitor = WorkloadMonitor::new(40, 0.1, RefreshPolicy::Manual);
+    for i in 0..80 {
+        monitor.record(pool[i % pool.len()].clone());
+        if (i + 1) % 20 == 0 {
+            monitor.refresh(&g, &mut live);
+        }
+    }
+    monitor.refresh(&g, &mut live);
+    let mut scratch = Apex::build_initial(&g);
+    scratch.refine(&g, &monitor.workload(), monitor.min_sup());
+    extent_equivalent(&g, &live, &scratch).expect("windowed state must converge");
+}
