@@ -50,8 +50,21 @@ stress() {
     echo "stress: 20/20 iterations green"
 }
 
+# The kernel microbench doubles as a smoke test: it runs the three
+# semijoin kernels over real dataset edge relations at end:extent ratios
+# 1:1 … 1:10^4 and *asserts* the adaptive picker stays within 1.5x of
+# the best fixed kernel's work. Runs in a temp dir so its
+# BENCH_kernels.json never lands in the tree.
+kernel_smoke() {
+    local out
+    out=$(mktemp -d)
+    (cd "$out" && "$OLDPWD/target/release/kernels")
+    rm -rf "$out"
+}
+
 run cargo build --release --offline --workspace
 run cargo test --offline --workspace --quiet
+run kernel_smoke
 run stress
 run cargo clippy --offline --workspace --all-targets -- "${CLIPPY_EXTRA[@]}" -D warnings
 run cargo run --release --offline --quiet -p apex-lint -- --root .

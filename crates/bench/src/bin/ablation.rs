@@ -12,10 +12,13 @@
 //!    file-backed extent store and compares genuine page I/O with the
 //!    cost model's prediction.
 //!
+//! Also writes `BENCH_ablation.json` with the same rows.
+//!
 //! (`cargo run -p apex-bench --release --bin ablation [--scale paper]`)
 
 use std::time::Instant;
 
+use apex_bench::report::{batch_row, BenchReport, Json};
 use apex_bench::{print_row, print_row_header, Experiment, Scale, MINSUPS};
 use apex_query::apex_qp::ApexProcessor;
 use apex_query::guide_qp::GuideProcessor;
@@ -71,6 +74,7 @@ fn validate_page_model(ex: &Experiment, apex: &apex::Apex) -> std::io::Result<(u
 
 fn main() -> std::io::Result<()> {
     let scale = Scale::from_env();
+    let mut report = BenchReport::new("ablation");
 
     println!("Ablation 1+2: QTYPE1 over 1-index and naive traversal");
     println!("(capped at 1000 queries per batch — the 1-index product on the");
@@ -83,11 +87,14 @@ fn main() -> std::io::Result<()> {
         let oneidx = ex.oneindex();
         let stats = run_batch(&GuideProcessor::new(&ex.g, &oneidx, &ex.table), queries);
         print_row(d.name(), "1-index", &stats);
+        report.push(batch_row(d.name(), "1-index", &stats));
         let stats = run_batch(&NaiveProcessor::new(&ex.g, &ex.table), queries);
         print_row(d.name(), "naive", &stats);
+        report.push(batch_row(d.name(), "naive", &stats));
         let apex = ex.apex_at(0.005);
         let stats = run_batch(&ApexProcessor::new(&ex.g, &apex, &ex.table), queries);
         print_row(d.name(), "APEX(0.005)", &stats);
+        report.push(batch_row(d.name(), "APEX(0.005)", &stats));
         println!();
     }
 
@@ -124,6 +131,14 @@ fn main() -> std::io::Result<()> {
             steps_fresh,
             fresh_ms
         );
+        report.push(Json::Obj(vec![
+            ("dataset", Json::str(d.name())),
+            ("ablation", Json::str("update-vs-rebuild")),
+            ("incr_steps", Json::U64(steps_incr as u64)),
+            ("incr_ms", Json::F64(incr_ms)),
+            ("rebuild_steps", Json::U64(steps_fresh as u64)),
+            ("rebuild_ms", Json::F64(fresh_ms)),
+        ]));
         assert_eq!(
             incr.required_paths(&ex.g),
             fresh.required_paths(&ex.g),
@@ -147,6 +162,12 @@ fn main() -> std::io::Result<()> {
             real,
             real as f64 / model.max(1) as f64
         );
+        report.push(Json::Obj(vec![
+            ("dataset", Json::str(d.name())),
+            ("ablation", Json::str("page-model-validation")),
+            ("model_pages", Json::U64(model)),
+            ("real_pages", Json::U64(real)),
+        ]));
     }
 
     println!("\nAblation 4: hash-tree shape per minSup\n");
@@ -166,8 +187,19 @@ fn main() -> std::io::Result<()> {
                 s.hash_entries,
                 s.max_required_len
             );
+            report.push(Json::Obj(vec![
+                ("dataset", Json::str(d.name())),
+                ("ablation", Json::str("hash-tree-shape")),
+                ("min_sup", Json::F64(ms)),
+                ("required_paths", Json::U64(s.hash_entries as u64)),
+                ("max_required_len", Json::U64(s.max_required_len as u64)),
+            ]));
         }
     }
 
+    match report.write() {
+        Ok(p) => println!("\nwrote {}", p.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
     Ok(())
 }

@@ -15,10 +15,13 @@
 //! cargo run --release --bin adaptive            # small scale
 //! cargo run --release --bin adaptive -- --scale paper
 //! ```
+//!
+//! Also writes `BENCH_adaptive.json` with the per-generation rows.
 
 use std::sync::{Arc, Mutex};
 
 use apex::{Apex, IndexCell, RefreshPolicy, Refresher, WorkloadMonitor};
+use apex_bench::report::{BenchReport, Json};
 use apex_bench::{print_adaptive_header, print_adaptive_row, Experiment, Scale};
 use apex_query::batch::run_adaptive;
 use apex_query::AdaptiveStats;
@@ -26,6 +29,7 @@ use apex_storage::bufmgr::BufferHandle;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut report = BenchReport::new("adaptive");
     println!("== adaptive serving: queries across index generations ==");
     print_adaptive_header();
     for d in scale.datasets() {
@@ -65,6 +69,15 @@ fn main() {
                     .find(|r| r.generation == row.generation)
                     .map(|r| r.wall.as_secs_f64() * 1e3);
                 print_adaptive_row(d.name(), row, stats, swap_ms);
+                report.push(Json::Obj(vec![
+                    ("dataset", Json::str(d.name())),
+                    ("generation", Json::U64(row.generation)),
+                    ("queries", Json::U64(row.queries as u64)),
+                    ("result_nodes", Json::U64(row.result_nodes as u64)),
+                    ("phase_pages_read", Json::U64(stats.batch.cost.pages_read)),
+                    ("phase_join_work", Json::U64(stats.batch.cost.join_work)),
+                    ("wall_ms", Json::F64(row.wall.as_secs_f64() * 1e3)),
+                ]));
             }
         }
         let generations: std::collections::BTreeSet<u64> = phases
@@ -87,5 +100,9 @@ fn main() {
             d.name(),
             generations
         );
+    }
+    match report.write() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
     }
 }

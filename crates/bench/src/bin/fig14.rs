@@ -2,8 +2,10 @@
 //! 500 at paper scale) on the strong DataGuide, APEX⁰, and APEX with
 //! minSup = 0.005. The paper plots this in log scale — the gap spans
 //! orders of magnitude on irregular data.
+//! Also writes `BENCH_fig14.json` with the same rows.
 //! (`cargo run -p apex-bench --release --bin fig14 [--scale paper]`)
 
+use apex_bench::report::{batch_row, BenchReport};
 use apex_bench::{print_row, print_row_header, Experiment, Scale};
 use apex_query::apex_qp::ApexProcessor;
 use apex_query::guide_qp::GuideProcessor;
@@ -11,6 +13,7 @@ use apex_query::run_batch;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut report = BenchReport::new("fig14");
     println!("Figure 14: total evaluation cost of QTYPE2 queries [paper: log scale]\n");
     print_row_header();
     for d in scale.fig14_15_datasets() {
@@ -21,12 +24,14 @@ fn main() {
             &ex.queries.qtype2,
         );
         print_row(d.name(), "SDG", &stats);
+        report.push(batch_row(d.name(), "SDG", &stats));
 
         let stats = run_batch(
             &ApexProcessor::new(&ex.g, &ex.apex0, &ex.table),
             &ex.queries.qtype2,
         );
         print_row(d.name(), "APEX0", &stats);
+        report.push(batch_row(d.name(), "APEX0", &stats));
 
         let apex = ex.apex_at(0.005);
         let stats = run_batch(
@@ -34,7 +39,12 @@ fn main() {
             &ex.queries.qtype2,
         );
         print_row(d.name(), "APEX(0.005)", &stats);
+        report.push(batch_row(d.name(), "APEX(0.005)", &stats));
         println!();
+    }
+    match report.write() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
     }
     println!("Expected shape (paper): APEX best everywhere (traversal starts at the");
     println!("l_i classes); SDG pays exhaustive navigation from the root; APEX0's");

@@ -4,8 +4,10 @@
 //! plots log scale: the Fabric wins on regular data (answers from the
 //! trie alone, no data-table probes) and loses badly on irregular data
 //! (whole-trie traversal over exploded key sets).
+//! Also writes `BENCH_fig15.json` with the same rows.
 //! (`cargo run -p apex-bench --release --bin fig15 [--scale paper]`)
 
+use apex_bench::report::{batch_row, BenchReport};
 use apex_bench::{print_row, print_row_header, Experiment, Scale};
 use apex_query::apex_qp::ApexProcessor;
 use apex_query::fabric_qp::FabricProcessor;
@@ -14,6 +16,7 @@ use apex_query::run_batch;
 
 fn main() {
     let scale = Scale::from_env();
+    let mut report = BenchReport::new("fig15");
     println!("Figure 15: total evaluation cost of QTYPE3 queries [paper: log scale]\n");
     print_row_header();
     for d in scale.fig14_15_datasets() {
@@ -26,7 +29,9 @@ fn main() {
         } else {
             ""
         };
-        print_row(d.name(), &format!("Fabric{trunc}"), &stats);
+        let label = format!("Fabric{trunc}");
+        print_row(d.name(), &label, &stats);
+        report.push(batch_row(d.name(), &label, &stats));
 
         let sdg = ex.dataguide();
         let stats = run_batch(
@@ -34,6 +39,7 @@ fn main() {
             &ex.queries.qtype3,
         );
         print_row(d.name(), "SDG", &stats);
+        report.push(batch_row(d.name(), "SDG", &stats));
 
         let apex = ex.apex_at(0.005);
         let stats = run_batch(
@@ -41,7 +47,12 @@ fn main() {
             &ex.queries.qtype3,
         );
         print_row(d.name(), "APEX(0.005)", &stats);
+        report.push(batch_row(d.name(), "APEX(0.005)", &stats));
         println!();
+    }
+    match report.write() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
     }
     println!("Expected shape (paper): Fabric best on Play data, worst on Flix/Ged;");
     println!("APEX best on irregular data.");

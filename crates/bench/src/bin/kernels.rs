@@ -1,0 +1,127 @@
+//! Semijoin kernel microbenchmark: linear merge vs galloping search vs
+//! block-skip probing across end/extent size ratios 1:1 … 1:10⁴, on the
+//! edge relation of each small-scale dataset family (Play / Flix / Ged).
+//!
+//! For every (dataset, ratio) the three fixed kernels run over the same
+//! inputs and report their logical `work` (comparisons) and
+//! `pairs_read` (pairs materialized from blocks); the adaptive policy
+//! then picks a kernel from the size ratio alone. The run *asserts*
+//! that the adaptive pick's work never exceeds 1.5× the best fixed
+//! kernel (plus a constant slack for degenerate tiny inputs) — the
+//! guarantee the query processors rely on when they delegate the access
+//! path choice.
+//!
+//! Also writes `BENCH_kernels.json` with one row per (dataset, ratio).
+//!
+//! (`cargo run -p apex-bench --release --bin kernels`)
+
+use apex_bench::report::{BenchReport, Json};
+use apex_storage::kernels::{semijoin_into, Kernel, KernelPolicy, SemijoinScratch};
+use apex_storage::EdgeSet;
+use datagen::Dataset;
+use xmlgraph::NodeId;
+
+const RATIOS: [usize; 5] = [1, 10, 100, 1_000, 10_000];
+const SLACK: usize = 32;
+
+/// The dataset's full edge relation as one extent (every `G_APEX⁰`
+/// extent is a subset of it; this is the largest join target the
+/// dataset can produce).
+fn edge_relation(d: Dataset) -> EdgeSet {
+    let g = d.generate();
+    let mut raw: Vec<(u32, u32)> = g.edges().map(|(from, _, to)| (from.0, to.0)).collect();
+    raw.sort_unstable();
+    EdgeSet::from_raw(&raw)
+}
+
+/// Every `ratio`-th distinct parent of the extent — sorted, distinct
+/// ends that actually hit, shrinking the driving side by `ratio`.
+fn sample_ends(extent: &EdgeSet, ratio: usize) -> Vec<NodeId> {
+    let mut parents: Vec<NodeId> = extent.iter().map(|p| p.parent).collect();
+    parents.dedup();
+    parents.into_iter().step_by(ratio).collect()
+}
+
+fn main() {
+    let mut report = BenchReport::new("kernels");
+    println!("Kernel microbench: semijoin work by end:extent ratio\n");
+    println!(
+        "{:<14} {:>7} {:>9} {:>7} {:>12} {:>12} {:>12} | {:<10} {:>12} {:>11}",
+        "dataset",
+        "ratio",
+        "extent",
+        "ends",
+        "merge",
+        "gallop",
+        "block-skip",
+        "adaptive",
+        "work",
+        "pairs-read"
+    );
+    let mut scratch = SemijoinScratch::new();
+    for d in [Dataset::FourTragedy, Dataset::Flix01, Dataset::Ged01] {
+        let extent = edge_relation(d);
+        for ratio in RATIOS {
+            let ends = sample_ends(&extent, ratio);
+            let mut works = Vec::new();
+            let mut reads = Vec::new();
+            for kernel in [Kernel::Merge, Kernel::Gallop, Kernel::BlockSkip] {
+                let r = semijoin_into(kernel, &extent, &ends, &mut scratch);
+                works.push(r.work);
+                reads.push(r.pairs_read);
+            }
+            let picked = KernelPolicy::Adaptive.choose(ends.len(), &extent);
+            let adaptive = semijoin_into(picked, &extent, &ends, &mut scratch);
+            let best = works.iter().copied().min().unwrap_or(0);
+            println!(
+                "{:<14} {:>7} {:>9} {:>7} {:>12} {:>12} {:>12} | {:<10} {:>12} {:>11}",
+                d.name(),
+                format!("1:{ratio}"),
+                extent.len(),
+                ends.len(),
+                works[0],
+                works[1],
+                works[2],
+                picked.name(),
+                adaptive.work,
+                adaptive.pairs_read,
+            );
+            assert!(
+                adaptive.work <= best + best / 2 + SLACK,
+                "{} ratio 1:{ratio}: adaptive ({}, work {}) worse than 1.5x best fixed kernel (work {best})",
+                d.name(),
+                picked.name(),
+                adaptive.work,
+            );
+            report.push(Json::Obj(vec![
+                ("dataset", Json::str(d.name())),
+                ("ratio", Json::U64(ratio as u64)),
+                ("extent_pairs", Json::U64(extent.len() as u64)),
+                (
+                    "extent_blocks",
+                    Json::U64(extent.blocks().num_blocks() as u64),
+                ),
+                (
+                    "extent_encoded_bytes",
+                    Json::U64(extent.stored_bytes() as u64),
+                ),
+                ("ends", Json::U64(ends.len() as u64)),
+                ("merge_work", Json::U64(works[0] as u64)),
+                ("gallop_work", Json::U64(works[1] as u64)),
+                ("block_skip_work", Json::U64(works[2] as u64)),
+                ("merge_pairs_read", Json::U64(reads[0] as u64)),
+                ("gallop_pairs_read", Json::U64(reads[1] as u64)),
+                ("block_skip_pairs_read", Json::U64(reads[2] as u64)),
+                ("adaptive_kernel", Json::str(picked.name())),
+                ("adaptive_work", Json::U64(adaptive.work as u64)),
+                ("adaptive_pairs_read", Json::U64(adaptive.pairs_read as u64)),
+            ]));
+        }
+        println!();
+    }
+    match report.write() {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write report: {e}"),
+    }
+    println!("adaptive picker stayed within 1.5x of the best fixed kernel on every row");
+}

@@ -172,6 +172,173 @@ impl Experiment {
     }
 }
 
+/// Hand-rolled JSON for the machine-readable companion file every bench
+/// binary writes next to its table (`BENCH_<name>.json`). The workspace
+/// carries no serde and the reports are flat rows, so a tiny value enum
+/// plus a writer suffices.
+pub mod report {
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    /// A JSON value (only the shapes the reports need).
+    #[derive(Debug, Clone)]
+    pub enum Json {
+        /// An unsigned integer.
+        U64(u64),
+        /// A float (rendered with enough digits to round-trip).
+        F64(f64),
+        /// A string (escaped on render).
+        Str(String),
+        /// A boolean.
+        Bool(bool),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object with fixed keys.
+        Obj(Vec<(&'static str, Json)>),
+    }
+
+    impl Json {
+        /// Convenience: a string value.
+        pub fn str(s: impl Into<String>) -> Json {
+            Json::Str(s.into())
+        }
+
+        fn render_into(&self, out: &mut String) {
+            match self {
+                Json::U64(v) => out.push_str(&v.to_string()),
+                Json::F64(v) if v.is_finite() => out.push_str(&format!("{v}")),
+                Json::F64(_) => out.push_str("null"),
+                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Json::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Json::Arr(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.render_into(out);
+                    }
+                    out.push(']');
+                }
+                Json::Obj(fields) => {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('"');
+                        out.push_str(k);
+                        out.push_str("\":");
+                        v.render_into(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+
+        /// Renders the value as a JSON string.
+        pub fn render(&self) -> String {
+            let mut s = String::new();
+            self.render_into(&mut s);
+            s
+        }
+    }
+
+    /// Accumulates rows for one bench binary and writes
+    /// `BENCH_<name>.json` (in the working directory) on
+    /// [`BenchReport::write`].
+    #[derive(Debug)]
+    pub struct BenchReport {
+        name: &'static str,
+        meta: Vec<(&'static str, Json)>,
+        rows: Vec<Json>,
+    }
+
+    impl BenchReport {
+        /// A fresh report for the binary `name`.
+        pub fn new(name: &'static str) -> Self {
+            BenchReport {
+                name,
+                meta: Vec::new(),
+                rows: Vec::new(),
+            }
+        }
+
+        /// Attaches a top-level metadata field (scale, thresholds, …).
+        pub fn meta(&mut self, key: &'static str, value: Json) {
+            self.meta.push((key, value));
+        }
+
+        /// Appends one row.
+        pub fn push(&mut self, row: Json) {
+            self.rows.push(row);
+        }
+
+        /// Writes `BENCH_<name>.json` and returns its path.
+        pub fn write(self) -> std::io::Result<PathBuf> {
+            let mut fields = vec![("bench", Json::str(self.name))];
+            fields.extend(self.meta);
+            fields.push(("rows", Json::Arr(self.rows)));
+            let path = PathBuf::from(format!("BENCH_{}.json", self.name));
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(Json::Obj(fields).render().as_bytes())?;
+            f.write_all(b"\n")?;
+            Ok(path)
+        }
+    }
+
+    /// The standard figure row as JSON: per-batch pages read, join work,
+    /// and the rest of the printed columns.
+    pub fn batch_row(dataset: &str, index: &str, stats: &apex_query::BatchStats) -> Json {
+        let mut fields = vec![
+            ("dataset", Json::str(dataset)),
+            ("index", Json::str(index)),
+            ("queries", Json::U64(stats.queries as u64)),
+            ("pages_read", Json::U64(stats.cost.pages_read)),
+            ("index_edges", Json::U64(stats.cost.index_edges)),
+            ("extent_pairs", Json::U64(stats.cost.extent_pairs)),
+            ("join_work", Json::U64(stats.cost.join_work)),
+            ("join_output", Json::U64(stats.cost.join_output)),
+            ("result_nodes", Json::U64(stats.result_nodes as u64)),
+            ("wall_ms", Json::F64(stats.wall.as_secs_f64() * 1e3)),
+        ];
+        if let Some(b) = &stats.buf {
+            fields.push(("buf_hit_rate", Json::F64(b.hit_rate())));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Index-size row (Table 2): structure counts plus the stored extent
+    /// footprint in the compressed block encoding next to its raw size.
+    pub fn index_row(dataset: &str, index: &str, s: &apex::IndexStats) -> Json {
+        Json::Obj(vec![
+            ("dataset", Json::str(dataset)),
+            ("index", Json::str(index)),
+            ("nodes", Json::U64(s.nodes as u64)),
+            ("edges", Json::U64(s.edges as u64)),
+            ("extent_pairs", Json::U64(s.extent_pairs as u64)),
+            (
+                "extent_encoded_bytes",
+                Json::U64(s.extent_encoded_bytes as u64),
+            ),
+            ("extent_raw_bytes", Json::U64(s.extent_raw_bytes as u64)),
+        ])
+    }
+}
+
 /// Prints the standard figure-row header.
 pub fn print_row_header() {
     println!(

@@ -47,6 +47,11 @@ pub struct IndexStats {
     pub max_required_len: usize,
     /// Total extent pairs stored on reachable nodes.
     pub extent_pairs: usize,
+    /// Stored size of the reachable extents in the compressed block
+    /// encoding (delta+varint payload plus skip-index headers).
+    pub extent_encoded_bytes: usize,
+    /// Uncompressed size of the same extents (8 bytes per pair).
+    pub extent_raw_bytes: usize,
 }
 
 /// The adaptive path index (graph + hash tree + root).
@@ -158,18 +163,23 @@ impl Apex {
     /// Index sizes (Table 2).
     pub fn stats(&self) -> IndexStats {
         let (nodes, edges) = self.ga.reachable_stats(self.xroot);
-        let extent_pairs = self
-            .ga
-            .reachable(self.xroot)
-            .iter()
-            .map(|&x| self.ga.extent(x).len())
-            .sum();
+        let mut extent_pairs = 0;
+        let mut extent_encoded_bytes = 0;
+        let mut extent_raw_bytes = 0;
+        for &x in &self.ga.reachable(self.xroot) {
+            let e = self.ga.extent(x);
+            extent_pairs += e.len();
+            extent_encoded_bytes += e.stored_bytes();
+            extent_raw_bytes += e.raw_bytes();
+        }
         IndexStats {
             nodes,
             edges,
             hash_entries: self.ht.entry_count(),
             max_required_len: self.ht.max_depth(),
             extent_pairs,
+            extent_encoded_bytes,
+            extent_raw_bytes,
         }
     }
 

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use apex::{Apex, XNodeId};
 use apex_storage::bufmgr::{BufferHandle, Space};
-use apex_storage::{DataTable, EdgeSet};
+use apex_storage::{DataTable, EdgeSet, KernelPolicy};
 use xmlgraph::{LabelId, NodeId, XmlGraph};
 
 use crate::ast::Query;
@@ -52,6 +52,8 @@ pub struct ApexProcessor<'a> {
     /// `node_offsets[x]..node_offsets[x+1]` of [`Space::ApexNode`],
     /// shifted by the generation tag's stride.
     node_offsets: Vec<u64>,
+    /// Kernel policy for every semijoin this processor runs.
+    policy: KernelPolicy,
 }
 
 impl<'a> ApexProcessor<'a> {
@@ -96,7 +98,15 @@ impl<'a> ApexProcessor<'a> {
             buf,
             tag,
             node_offsets,
+            policy: KernelPolicy::Adaptive,
         }
+    }
+
+    /// Forces a fixed semijoin kernel (tests and benches compare the
+    /// kernels; production uses the default adaptive policy).
+    pub fn with_kernel_policy(mut self, policy: KernelPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// `(buffer id, extent)` source for class node `x`.
@@ -148,7 +158,8 @@ impl<'a> ApexProcessor<'a> {
     }
 
     fn eval_path(&self, labels: &[LabelId], ctx: &mut ExecContext<'_>) -> Vec<NodeId> {
-        let mut nodes = self.eval_path_edges(labels, ctx).end_nodes();
+        let edges = self.eval_path_edges(labels, ctx);
+        let mut nodes = edges.end_nodes().to_vec();
         self.g.sort_doc_order(&mut nodes);
         nodes
     }
@@ -210,7 +221,7 @@ impl<'a> ApexProcessor<'a> {
             for &(label, y) in self.apex.out_edges(x) {
                 ctx.nav_edges(1);
                 let (id, extent) = self.source(y);
-                let step = exec::semijoin(ctx, &ends, Space::ApexExtent, id, extent);
+                let step = exec::semijoin(ctx, ends, Space::ApexExtent, id, extent);
                 if step.is_empty() {
                     continue;
                 }
@@ -247,7 +258,7 @@ impl QueryProcessor for ApexProcessor<'_> {
     }
 
     fn eval(&self, q: &Query) -> QueryOutput {
-        let mut ctx = ExecContext::new(&self.buf);
+        let mut ctx = ExecContext::with_policy(&self.buf, self.policy);
         let nodes = match q {
             Query::PartialPath { labels } => self.eval_path(labels, &mut ctx),
             Query::AncestorDescendant { first, last } => {

@@ -6,43 +6,75 @@
 //! charging and cost accounting are implemented exactly once and the
 //! cross-index comparison stays fair by construction.
 //!
-//! [`ExecContext`] carries the per-query [`Cost`] and a handle to the
-//! *cross-query* [`BufferHandle`] pool; operators route every page
-//! touch through the pool and attribute the counters they move to
-//! their [`OpKind`] (by diffing scalar snapshots around the operator
-//! body, so nested composites never double-count).
+//! [`ExecContext`] carries the per-query [`Cost`], the
+//! [`KernelPolicy`] deciding each semijoin's kernel, reusable scratch
+//! buffers, and a handle to the *cross-query* [`BufferHandle`] pool;
+//! operators route every page touch through the pool and attribute the
+//! counters they move to their [`OpKind`] (by diffing scalar snapshots
+//! around the operator body, so nested composites never double-count).
+//!
+//! Pair extents are charged at *block* granularity: each page-sized
+//! compressed block of an extent (see `apex_storage::block`) is its own
+//! pool object, so a kernel that skips a block via the skip index never
+//! faults its page, and `pages_read` reflects both the compression and
+//! the skipping.
 //!
 //! | operator | paper role |
 //! |---|---|
 //! | [`ExtentScan`] | read one stored extent |
 //! | [`ExtentUnion`] | union the extents of one `H_APEX` segment |
-//! | [`SemijoinProbe`] | join step via clustered-index range probes |
-//! | [`SemijoinMerge`] | join step via a linear sorted merge |
+//! | [`Semijoin`] | one join step (merge / gallop / block-skip kernel) |
 //! | [`MultiwayJoin`] | the §6.1 QTYPE1 chain: seed union + join steps |
 //! | [`DataProbe`] | QTYPE3 data-table value test |
 //! | [`IndexNav`] | index-graph navigation I/O (page-packed records) |
 //! | [`TrieSearch`] | Index Fabric key search / traversal |
 
 use apex_storage::bufmgr::{BufferHandle, ObjectId, Space};
-use apex_storage::{Cost, DataTable, EdgeSet, OpKind};
+use apex_storage::kernels::{self, Kernel, KernelPolicy, SemijoinScratch};
+use apex_storage::{Cost, DataTable, EdgePair, EdgeSet, OpKind};
 use fabric::IndexFabric;
 use xmlgraph::{LabelId, NodeId};
 
-/// Per-query execution state: the cost being accumulated plus the
-/// shared buffer pool every operator charges against.
+/// Reusable per-context buffers: operators borrow these instead of
+/// allocating per invocation.
+#[derive(Debug, Default)]
+struct ExecScratch {
+    semi: SemijoinScratch,
+    union: Vec<EdgePair>,
+}
+
+/// Per-query execution state: the cost being accumulated, the kernel
+/// policy, scratch buffers, plus the shared buffer pool every operator
+/// charges against.
 pub struct ExecContext<'a> {
     buf: &'a BufferHandle,
+    policy: KernelPolicy,
+    scratch: ExecScratch,
     /// The counters this query has accumulated so far.
     pub cost: Cost,
 }
 
 impl<'a> ExecContext<'a> {
-    /// A fresh context over a shared pool.
+    /// A fresh context over a shared pool, with the adaptive kernel
+    /// policy.
     pub fn new(buf: &'a BufferHandle) -> Self {
+        Self::with_policy(buf, KernelPolicy::Adaptive)
+    }
+
+    /// A fresh context with an explicit kernel policy (tests and
+    /// benches force single kernels through this).
+    pub fn with_policy(buf: &'a BufferHandle, policy: KernelPolicy) -> Self {
         ExecContext {
             buf,
+            policy,
+            scratch: ExecScratch::default(),
             cost: Cost::new(),
         }
+    }
+
+    /// The kernel policy governing this context's semijoins.
+    pub fn policy(&self) -> KernelPolicy {
+        self.policy
     }
 
     /// The buffer pool behind this context.
@@ -60,10 +92,10 @@ impl<'a> ExecContext<'a> {
     fn attributed<T>(
         &mut self,
         kind: OpKind,
-        body: impl FnOnce(&mut Cost, &BufferHandle) -> T,
+        body: impl FnOnce(&mut Cost, &BufferHandle, &mut ExecScratch) -> T,
     ) -> T {
         let before = self.cost.scalars();
-        let out = body(&mut self.cost, self.buf);
+        let out = body(&mut self.cost, self.buf, &mut self.scratch);
         let after = self.cost.scalars();
         let mut delta = [0u64; 8];
         for (d, (a, b)) in delta.iter_mut().zip(after.iter().zip(before)) {
@@ -103,10 +135,37 @@ impl<'a> ExecContext<'a> {
     }
 }
 
-/// What an [`ExtentScan`] reads: a separately stored object, or a byte
-/// range of a page-packed array (posting lists, adjacency lists).
+/// Buffer-pool identity of block `k` of pair extent `id`: the extent id
+/// shifted into the high bits with the block index below it. Extent ids
+/// must stay below 2⁴⁸ — they are `(generation_tag << 32) | xnode`, so
+/// this bounds generation tags to 2¹⁶ (snapshot swap counts, far
+/// below).
+#[inline]
+fn block_oid(space: Space, id: u64, k: u32) -> ObjectId {
+    debug_assert!(id < 1 << 48, "extent id {id:#x} overflows block ids");
+    ObjectId::new(space, (id << 16) | k as u64)
+}
+
+/// Charges every block of `set` (a full scan), returning pages read.
+fn charge_all_blocks(buf: &BufferHandle, space: Space, id: u64, set: &EdgeSet) -> u64 {
+    let bx = set.blocks();
+    let mut pages = 0;
+    for k in 0..bx.num_blocks() {
+        pages += buf.touch(block_oid(space, id, k as u32), bx.block_bytes(k));
+    }
+    pages
+}
+
+/// What an [`ExtentScan`] reads: a pair extent in block storage, a
+/// separately stored object, or a byte range of a page-packed array
+/// (posting lists, adjacency lists).
 #[derive(Debug, Clone)]
-enum ScanTarget {
+enum ScanTarget<'a> {
+    Blocks {
+        space: Space,
+        id: u64,
+        set: &'a EdgeSet,
+    },
     Object {
         id: ObjectId,
         bytes: usize,
@@ -119,23 +178,21 @@ enum ScanTarget {
 
 /// Materializes one stored extent through the buffer pool: charges the
 /// elements read plus the pages a miss costs. Covers pair extents
-/// (APEX, 8 bytes/pair), node-list extents (guide/1-index,
-/// 4 bytes/node) and page-packed ranges (naive posting/adjacency
-/// scans) via the constructors.
+/// (APEX, block-compressed, charged per block), node-list extents
+/// (guide/1-index, 4 bytes/node) and page-packed ranges (naive
+/// posting/adjacency scans) via the constructors.
 #[derive(Debug, Clone)]
-pub struct ExtentScan {
-    target: ScanTarget,
+pub struct ExtentScan<'a> {
+    target: ScanTarget<'a>,
     len: usize,
 }
 
-impl ExtentScan {
-    /// Scan of an edge-pair extent (8 bytes per `<parent,node>` pair).
-    pub fn pairs(space: Space, id: u64, set: &EdgeSet) -> Self {
+impl<'a> ExtentScan<'a> {
+    /// Scan of an edge-pair extent, stored as compressed blocks: every
+    /// block is faulted (it's a full scan) at its encoded size.
+    pub fn pairs(space: Space, id: u64, set: &'a EdgeSet) -> Self {
         ExtentScan {
-            target: ScanTarget::Object {
-                id: ObjectId::new(space, id),
-                bytes: set.len() * 8,
-            },
+            target: ScanTarget::Blocks { space, id, set },
             len: set.len(),
         }
     }
@@ -162,9 +219,10 @@ impl ExtentScan {
     /// Charges the scan. The caller keeps the data (extents live in the
     /// index structures; this operator models their I/O).
     pub fn run(self, ctx: &mut ExecContext<'_>) {
-        ctx.attributed(OpKind::ExtentScan, |cost, buf| {
+        ctx.attributed(OpKind::ExtentScan, |cost, buf, _| {
             cost.extent_pairs += self.len as u64;
             cost.pages_read += match self.target {
+                ScanTarget::Blocks { space, id, set } => charge_all_blocks(buf, space, id, set),
                 ScanTarget::Object { id, bytes } => buf.touch(id, bytes),
                 ScanTarget::Packed { space, bytes } => buf.touch_byte_range(space, bytes),
             };
@@ -185,75 +243,67 @@ pub struct ExtentUnion<'a> {
 impl ExtentUnion<'_> {
     /// Scans and merges every source.
     pub fn run(self, ctx: &mut ExecContext<'_>) -> EdgeSet {
-        ctx.attributed(OpKind::ExtentUnion, |cost, buf| {
+        ctx.attributed(OpKind::ExtentUnion, |cost, buf, scratch| {
             let mut out = EdgeSet::new();
-            let mut scratch = Vec::new();
             for (id, set) in &self.sources {
                 cost.extent_pairs += set.len() as u64;
-                cost.pages_read += buf.touch(ObjectId::new(self.space, *id), set.len() * 8);
-                out.union_in_place(set, &mut scratch);
+                cost.pages_read += charge_all_blocks(buf, self.space, *id, set);
+                out.union_in_place(set, &mut scratch.union);
             }
             out
         })
     }
 }
 
-/// Semijoin of a sorted extent against sorted delta end nodes via
-/// binary-searched range probes — the clustered-index access path,
-/// chosen when the delta is much smaller than the extent.
+/// One semijoin step: keeps the pairs of `extent` whose parent is one
+/// of the sorted, distinct `ends`, using the given [`Kernel`]. Faults
+/// only the blocks the kernel reads — a skipped block is never charged.
+/// Use [`semijoin`] to let the context's policy pick the kernel.
 #[derive(Debug)]
-pub struct SemijoinProbe<'a> {
-    /// Sorted, distinct end nodes driving the probes.
+pub struct Semijoin<'a> {
+    /// Sorted, distinct end nodes driving the join.
     pub ends: &'a [NodeId],
-    /// Buffer-pool identity of the probed extent.
-    pub id: ObjectId,
-    /// The probed extent.
+    /// The address space of the extent.
+    pub space: Space,
+    /// Buffer id of the extent (block ids derive from it).
+    pub id: u64,
+    /// The joined extent.
     pub extent: &'a EdgeSet,
+    /// The kernel to run.
+    pub kernel: Kernel,
 }
 
-impl SemijoinProbe<'_> {
-    /// Runs the probes, returning the matched pairs.
+impl Semijoin<'_> {
+    /// Runs the kernel, returning the matched pairs. Attributes to
+    /// [`OpKind::SemijoinMerge`] / [`OpKind::SemijoinGallop`] /
+    /// [`OpKind::SemijoinSkip`] according to the kernel that ran.
     pub fn run(self, ctx: &mut ExecContext<'_>) -> EdgeSet {
-        ctx.attributed(OpKind::SemijoinProbe, |cost, buf| {
-            cost.extent_pairs += self.extent.len() as u64;
-            cost.pages_read += buf.touch(self.id, self.extent.len() * 8);
-            let (hit, work) = self.extent.probe_by_parents(self.ends);
-            cost.join_work += work as u64;
-            cost.join_output += hit.len() as u64;
-            hit
+        let kind = match self.kernel {
+            Kernel::Merge => OpKind::SemijoinMerge,
+            Kernel::Gallop => OpKind::SemijoinGallop,
+            Kernel::BlockSkip => OpKind::SemijoinSkip,
+        };
+        ctx.attributed(kind, |cost, buf, scratch| {
+            let report =
+                kernels::semijoin_into(self.kernel, self.extent, self.ends, &mut scratch.semi);
+            let bx = self.extent.blocks();
+            for &k in &scratch.semi.blocks {
+                cost.pages_read += buf.touch(
+                    block_oid(self.space, self.id, k),
+                    bx.block_bytes(k as usize),
+                );
+            }
+            cost.extent_pairs += report.pairs_read as u64;
+            cost.join_work += report.work as u64;
+            cost.join_output += scratch.semi.out.len() as u64;
+            EdgeSet::from_sorted(scratch.semi.out.clone())
         })
     }
 }
 
-/// Semijoin of a sorted extent against sorted delta end nodes via a
-/// linear merge — optimal when the two sides are of the same order.
-#[derive(Debug)]
-pub struct SemijoinMerge<'a> {
-    /// Sorted, distinct end nodes.
-    pub ends: &'a [NodeId],
-    /// Buffer-pool identity of the merged extent.
-    pub id: ObjectId,
-    /// The merged extent.
-    pub extent: &'a EdgeSet,
-}
-
-impl SemijoinMerge<'_> {
-    /// Runs the merge, returning the matched pairs.
-    pub fn run(self, ctx: &mut ExecContext<'_>) -> EdgeSet {
-        ctx.attributed(OpKind::SemijoinMerge, |cost, buf| {
-            cost.extent_pairs += self.extent.len() as u64;
-            cost.pages_read += buf.touch(self.id, self.extent.len() * 8);
-            let (hit, work) = self.extent.semijoin_ends(self.ends);
-            cost.join_work += work as u64;
-            cost.join_output += hit.len() as u64;
-            hit
-        })
-    }
-}
-
-/// Adaptive semijoin: probes when the delta is much smaller than the
-/// extent, merges otherwise (the access-path choice every processor
-/// previously hand-rolled).
+/// Adaptive semijoin: the context's [`KernelPolicy`] picks the kernel
+/// from the size ratio of the two sides (the access-path choice every
+/// processor previously hand-rolled).
 pub fn semijoin(
     ctx: &mut ExecContext<'_>,
     ends: &[NodeId],
@@ -261,12 +311,15 @@ pub fn semijoin(
     id: u64,
     extent: &EdgeSet,
 ) -> EdgeSet {
-    let id = ObjectId::new(space, id);
-    if ends.len() * 8 < extent.len() {
-        SemijoinProbe { ends, id, extent }.run(ctx)
-    } else {
-        SemijoinMerge { ends, id, extent }.run(ctx)
+    let kernel = ctx.policy.choose(ends.len(), extent);
+    Semijoin {
+        ends,
+        space,
+        id,
+        extent,
+        kernel,
     }
+    .run(ctx)
 }
 
 /// The §6.1 QTYPE1 chain: union the exact segment's extents, then
@@ -293,19 +346,21 @@ impl MultiwayJoin<'_> {
             space: self.space,
         }
         .run(ctx);
-        let mut scratch = Vec::new();
+        // Borrow the context's union scratch for the stage merges (the
+        // semijoins inside the loop need `ctx` whole).
+        let mut scratch = std::mem::take(&mut ctx.scratch.union);
         for stage in self.stages {
             if cur.is_empty() {
                 break;
             }
-            let ends = cur.end_nodes();
             let mut next = EdgeSet::new();
             for (id, extent) in stage {
-                let hit = semijoin(ctx, &ends, self.space, id, extent);
+                let hit = semijoin(ctx, cur.end_nodes(), self.space, id, extent);
                 next.union_in_place(&hit, &mut scratch);
             }
             cur = next;
         }
+        ctx.scratch.union = scratch;
         cur
     }
 }
@@ -324,7 +379,7 @@ pub struct DataProbe<'a> {
 impl DataProbe<'_> {
     /// Probes; true when `nid` carries exactly `value`.
     pub fn run(self, ctx: &mut ExecContext<'_>) -> bool {
-        ctx.attributed(OpKind::DataProbe, |cost, buf| {
+        ctx.attributed(OpKind::DataProbe, |cost, buf, _| {
             self.table.probe_buffered(buf, cost, self.nid, self.value)
         })
     }
@@ -343,7 +398,7 @@ pub struct IndexNav {
 impl IndexNav {
     /// Charges the record pages.
     pub fn run(self, ctx: &mut ExecContext<'_>) {
-        ctx.attributed(OpKind::IndexNav, |cost, buf| {
+        ctx.attributed(OpKind::IndexNav, |cost, buf, _| {
             cost.pages_read += buf.touch_byte_range(self.space, self.bytes);
         })
     }
@@ -367,7 +422,7 @@ pub struct TrieSearch<'a> {
 impl TrieSearch<'_> {
     /// Runs the search, returning matching nodes (unsorted).
     pub fn run(self, ctx: &mut ExecContext<'_>) -> Vec<NodeId> {
-        ctx.attributed(OpKind::TrieSearch, |cost, buf| {
+        ctx.attributed(OpKind::TrieSearch, |cost, buf, _| {
             if self.exact {
                 self.fabric
                     .search_exact_buffered(buf, self.labels, self.value, cost)
@@ -426,16 +481,76 @@ mod tests {
         }
         .run(&mut ctx);
         assert_eq!(u, EdgeSet::from_raw(&[(1, 2), (3, 4)]));
-        // 2 ends vs a 2-pair extent: 2*8 >= 2, so the merge path runs.
+        // 2 ends vs a 3-pair extent: same order, so the merge kernel runs.
         let next = EdgeSet::from_raw(&[(2, 7), (4, 9), (5, 5)]);
-        let ends = u.end_nodes();
-        let hit = semijoin(&mut ctx, &ends, Space::ApexExtent, 2, &next);
+        let hit = semijoin(&mut ctx, u.end_nodes(), Space::ApexExtent, 2, &next);
         assert_eq!(hit, EdgeSet::from_raw(&[(2, 7), (4, 9)]));
         let cost = ctx.finish();
         assert_eq!(cost.ops.get(OpKind::SemijoinMerge).invocations, 1);
-        assert_eq!(cost.ops.get(OpKind::SemijoinProbe).invocations, 0);
+        assert_eq!(cost.ops.get(OpKind::SemijoinGallop).invocations, 0);
         assert!(cost.join_work > 0);
         assert_eq!(cost.join_output, 2);
+    }
+
+    #[test]
+    fn forced_policies_agree_and_attribute_their_kind() {
+        let buf = BufferHandle::unbounded();
+        let extent = EdgeSet::from_pairs(
+            (0..5_000u32)
+                .map(|i| EdgePair::new(NodeId(2 * i), NodeId(2 * i + 1)))
+                .collect(),
+        );
+        let ends = [NodeId(10), NodeId(4_000)];
+        let adaptive_kind = match KernelPolicy::Adaptive.choose(ends.len(), &extent) {
+            Kernel::Merge => OpKind::SemijoinMerge,
+            Kernel::Gallop => OpKind::SemijoinGallop,
+            Kernel::BlockSkip => OpKind::SemijoinSkip,
+        };
+        assert_ne!(
+            adaptive_kind,
+            OpKind::SemijoinMerge,
+            "searching must win here"
+        );
+        let mut want = None;
+        for (policy, kind) in [
+            (KernelPolicy::Merge, OpKind::SemijoinMerge),
+            (KernelPolicy::Gallop, OpKind::SemijoinGallop),
+            (KernelPolicy::BlockSkip, OpKind::SemijoinSkip),
+            (KernelPolicy::Adaptive, adaptive_kind),
+        ] {
+            let mut ctx = ExecContext::with_policy(&buf, policy);
+            let hit = semijoin(&mut ctx, &ends, Space::ApexExtent, 9, &extent);
+            let cost = ctx.finish();
+            assert_eq!(cost.ops.get(kind).invocations, 1, "{}", policy.name());
+            match &want {
+                None => want = Some(hit),
+                Some(w) => assert_eq!(&hit, w, "{}", policy.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_blocks_are_never_faulted() {
+        let buf = BufferHandle::unbounded();
+        // Multi-block extent; probe only its first parents.
+        let extent = EdgeSet::from_pairs(
+            (0..40_000u32)
+                .map(|i| EdgePair::new(NodeId(i), NodeId(i + 1)))
+                .collect(),
+        );
+        let blocks = extent.blocks().num_blocks() as u64;
+        assert!(blocks > 2);
+        let mut ctx = ExecContext::new(&buf);
+        let hit = semijoin(&mut ctx, &[NodeId(1)], Space::ApexExtent, 3, &extent);
+        assert_eq!(hit.len(), 1);
+        let probe_pages = ctx.cost.pages_read;
+        assert!(
+            probe_pages < blocks,
+            "a point probe must not fault all {blocks} blocks"
+        );
+        // A full scan faults the remaining blocks.
+        ExtentScan::pairs(Space::ApexExtent, 3, &extent).run(&mut ctx);
+        assert_eq!(ctx.finish().pages_read, blocks);
     }
 
     #[test]
@@ -457,11 +572,15 @@ mod tests {
         // Composite: the pages/pairs live on the inner operators.
         assert_eq!(mj.pages_read() + mj.extent_pairs(), 0);
         assert_eq!(cost.ops.get(OpKind::ExtentUnion).invocations, 1);
-        assert_eq!(
-            cost.ops.get(OpKind::SemijoinMerge).invocations
-                + cost.ops.get(OpKind::SemijoinProbe).invocations,
-            1
-        );
+        let semijoins: u64 = [
+            OpKind::SemijoinMerge,
+            OpKind::SemijoinGallop,
+            OpKind::SemijoinSkip,
+        ]
+        .iter()
+        .map(|&k| cost.ops.get(k).invocations)
+        .sum();
+        assert_eq!(semijoins, 1);
         // Scalar totals equal the sum of the per-op attributions.
         let attributed: u64 = OpKind::ALL
             .iter()

@@ -9,6 +9,7 @@
 
 use apex::Apex;
 use apex_storage::bufmgr::BufferStats;
+use apex_storage::KernelPolicy;
 use xmlgraph::{LabelId, XmlGraph};
 
 use crate::ast::Query;
@@ -26,6 +27,11 @@ pub struct SegmentPlan {
     /// True if the prefix is itself a required path (exact — terminates
     /// the segmentation loop).
     pub exact: bool,
+    /// Predicted semijoin kernel for joining into this segment (the
+    /// adaptive policy applied to the previous segment's pair count and
+    /// this segment's largest extent). `None` for the seed segment,
+    /// which is unioned, not joined.
+    pub kernel: Option<&'static str>,
 }
 
 /// An explained plan.
@@ -75,7 +81,9 @@ impl Plan {
                 s.push_str(&format!(
                     "  -> dataflow from {start_classes} class node(s), {seed_pairs} seed pair(s)\n"
                 ));
-                s.push_str("  -> Semijoin(Probe|Merge) per G_APEX edge until fixpoint\n");
+                s.push_str(
+                    "  -> Semijoin(merge|gallop|block-skip, adaptive) per G_APEX edge until fixpoint\n",
+                );
             }
             Plan::PathJoin {
                 segments,
@@ -84,18 +92,22 @@ impl Plan {
             } => {
                 for seg in segments {
                     s.push_str(&format!(
-                        "  -> prefix[..{}]: {} class(es), {} pair(s){}\n",
+                        "  -> prefix[..{}]: {} class(es), {} pair(s){}{}\n",
                         seg.prefix_len,
                         seg.classes,
                         seg.extent_pairs,
-                        if seg.exact { " [exact]" } else { "" }
+                        if seg.exact { " [exact]" } else { "" },
+                        match seg.kernel {
+                            Some(k) => format!(" [semijoin: {k}]"),
+                            None => String::new(),
+                        }
                     ));
                 }
                 if *joins == 0 {
                     s.push_str("  -> ExtentUnion: direct answer from extents (no joins)\n");
                 } else {
                     s.push_str(&format!(
-                        "  -> MultiwayJoin: ExtentUnion seed + {joins} Semijoin(Probe|Merge) step(s)\n"
+                        "  -> MultiwayJoin: ExtentUnion seed + {joins} Semijoin step(s), kernels as above\n"
                     ));
                 }
                 if *value_filter {
@@ -137,26 +149,49 @@ pub fn explain_apex(apex: &Apex, q: &Query) -> Plan {
 
 fn plan_path(apex: &Apex, labels: &[LabelId], value_filter: bool) -> Plan {
     let n = labels.len();
-    let mut segments = Vec::new();
+    let mut raw = Vec::new();
     let mut exact_found = false;
     for j in (1..=n).rev() {
         let seg = apex.segment_nodes(&labels[..j]);
-        let extent_pairs = seg.xnodes.iter().map(|&x| apex.extent(x).len()).sum();
-        segments.push(SegmentPlan {
-            prefix_len: j,
-            classes: seg.xnodes.len(),
-            extent_pairs,
-            exact: seg.exact,
-        });
         if seg.exact {
             exact_found = true;
+        }
+        raw.push((j, seg));
+        if exact_found {
             break;
         }
     }
     if !exact_found {
         return Plan::Empty;
     }
-    segments.reverse(); // exact seed first — evaluation order
+    raw.reverse(); // exact seed first — evaluation order
+    let mut segments: Vec<SegmentPlan> = Vec::new();
+    for (i, (j, seg)) in raw.iter().enumerate() {
+        let extent_pairs = seg.xnodes.iter().map(|&x| apex.extent(x).len()).sum();
+        // Predict the join kernel from the previous segment's pair count
+        // (an upper bound on the ends flowing in) against this segment's
+        // largest extent — the same rule the executor applies.
+        let kernel = if i == 0 {
+            None
+        } else {
+            let est_ends = segments[i - 1].extent_pairs;
+            seg.xnodes
+                .iter()
+                .max_by_key(|&&x| apex.extent(x).len())
+                .map(|&x| {
+                    KernelPolicy::Adaptive
+                        .choose(est_ends, apex.extent(x))
+                        .name()
+                })
+        };
+        segments.push(SegmentPlan {
+            prefix_len: *j,
+            classes: seg.xnodes.len(),
+            extent_pairs,
+            exact: seg.exact,
+            kernel,
+        });
+    }
     let joins = segments.len() - 1;
     Plan::PathJoin {
         segments,
@@ -210,6 +245,11 @@ mod tests {
         // Seed (first segment) is the exact one.
         assert!(segments[0].exact);
         assert!(segments.iter().skip(1).all(|s| !s.exact));
+        // The seed is unioned; every join stage shows its predicted kernel.
+        assert!(segments[0].kernel.is_none());
+        assert!(segments.iter().skip(1).all(|s| s.kernel.is_some()));
+        let rendered = plan.render(&g, &q);
+        assert!(rendered.contains("[semijoin: "), "{rendered}");
     }
 
     #[test]

@@ -16,10 +16,14 @@ pub enum OpKind {
     ExtentScan,
     /// Scanning and merging several extents into one edge set.
     ExtentUnion,
-    /// Semijoin via binary-searched range probes into a sorted extent.
-    SemijoinProbe,
     /// Semijoin via a linear merge with a sorted extent.
     SemijoinMerge,
+    /// Semijoin via galloping (exponential + binary) searches into a
+    /// sorted extent.
+    SemijoinGallop,
+    /// Semijoin that skips whole blocks via the extent's skip-index
+    /// headers, galloping within the surviving blocks.
+    SemijoinSkip,
     /// The QTYPE1 join chain (composite; inner work attributes to the
     /// union/semijoin operators it drives).
     MultiwayJoin,
@@ -33,11 +37,12 @@ pub enum OpKind {
 
 impl OpKind {
     /// Every operator, in display order.
-    pub const ALL: [OpKind; 8] = [
+    pub const ALL: [OpKind; 9] = [
         OpKind::ExtentScan,
         OpKind::ExtentUnion,
-        OpKind::SemijoinProbe,
         OpKind::SemijoinMerge,
+        OpKind::SemijoinGallop,
+        OpKind::SemijoinSkip,
         OpKind::MultiwayJoin,
         OpKind::DataProbe,
         OpKind::IndexNav,
@@ -49,8 +54,9 @@ impl OpKind {
         match self {
             OpKind::ExtentScan => "ExtentScan",
             OpKind::ExtentUnion => "ExtentUnion",
-            OpKind::SemijoinProbe => "SemijoinProbe",
             OpKind::SemijoinMerge => "SemijoinMerge",
+            OpKind::SemijoinGallop => "SemijoinGallop",
+            OpKind::SemijoinSkip => "SemijoinSkip",
             OpKind::MultiwayJoin => "MultiwayJoin",
             OpKind::DataProbe => "DataProbe",
             OpKind::IndexNav => "IndexNav",
@@ -63,12 +69,13 @@ impl OpKind {
         match self {
             OpKind::ExtentScan => 0,
             OpKind::ExtentUnion => 1,
-            OpKind::SemijoinProbe => 2,
-            OpKind::SemijoinMerge => 3,
-            OpKind::MultiwayJoin => 4,
-            OpKind::DataProbe => 5,
-            OpKind::IndexNav => 6,
-            OpKind::TrieSearch => 7,
+            OpKind::SemijoinMerge => 2,
+            OpKind::SemijoinGallop => 3,
+            OpKind::SemijoinSkip => 4,
+            OpKind::MultiwayJoin => 5,
+            OpKind::DataProbe => 6,
+            OpKind::IndexNav => 7,
+            OpKind::TrieSearch => 8,
         }
     }
 }
@@ -102,7 +109,7 @@ impl OpCost {
 /// Per-operator attribution of the scalar counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct OpBreakdown {
-    per_op: [OpCost; 8],
+    per_op: [OpCost; 9],
 }
 
 impl OpBreakdown {
@@ -304,14 +311,14 @@ mod tests {
     fn breakdown_records_and_accumulates() {
         let mut a = Cost::new();
         a.ops
-            .record(OpKind::SemijoinProbe, true, [0, 0, 10, 4, 2, 1, 0, 0]);
+            .record(OpKind::SemijoinGallop, true, [0, 0, 10, 4, 2, 1, 0, 0]);
         a.ops
-            .record(OpKind::SemijoinProbe, true, [0, 0, 5, 1, 1, 0, 0, 0]);
+            .record(OpKind::SemijoinGallop, true, [0, 0, 5, 1, 1, 0, 0, 0]);
         let mut b = Cost::new();
         b.ops
             .record(OpKind::DataProbe, true, [0, 0, 0, 0, 0, 2, 1, 0]);
         a += b;
-        let sj = a.ops.get(OpKind::SemijoinProbe);
+        let sj = a.ops.get(OpKind::SemijoinGallop);
         assert_eq!(sj.invocations, 2);
         assert_eq!(sj.extent_pairs(), 15);
         assert_eq!(sj.join_work(), 5);
@@ -319,7 +326,7 @@ mod tests {
         assert_eq!(a.ops.get(OpKind::DataProbe).invocations, 1);
         assert_eq!(a.ops.active().count(), 2);
         let table = a.ops.render();
-        assert!(table.contains("SemijoinProbe"));
+        assert!(table.contains("SemijoinGallop"));
         assert!(table.contains("DataProbe"));
         assert!(!table.contains("TrieSearch"));
         // The breakdown never leaks into the scalar total.

@@ -1,6 +1,10 @@
 //! Extents: sets of `<parent, node>` edge pairs (Definition 7).
 
+use std::sync::OnceLock;
+
 use xmlgraph::{NodeId, NULL_NODE};
+
+use crate::block::BlockExtent;
 
 /// One element of an extent: the incoming edge `<parent, node>` of a node
 /// reachable by some label path. The root's pair is `<NULL, root>`.
@@ -35,22 +39,71 @@ impl EdgePair {
 /// preserve sortedness (by `(parent, node)`) so unions and semijoins are
 /// linear merges, per the allocation-conscious style of the Rust
 /// Performance Book (buffers are reusable via the `*_into` variants).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Two derived views are computed lazily and cached (`OnceLock`, so a
+/// set shared across query threads stays `Sync`): the distinct
+/// [`end_nodes`](EdgeSet::end_nodes) and the compressed
+/// [`blocks`](EdgeSet::blocks) image whose skip index drives the
+/// adaptive semijoin kernels. Mutation (`insert`, `union_in_place`)
+/// invalidates both.
+#[derive(Debug, Default)]
 pub struct EdgeSet {
     pairs: Vec<EdgePair>,
+    ends: OnceLock<Vec<NodeId>>,
+    blocks: OnceLock<BlockExtent>,
 }
+
+impl Clone for EdgeSet {
+    fn clone(&self) -> Self {
+        // Caches are cheap to rebuild; clones (index refinement) start
+        // cold.
+        EdgeSet {
+            pairs: self.pairs.clone(),
+            ends: OnceLock::new(),
+            blocks: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for EdgeSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.pairs == other.pairs
+    }
+}
+
+impl Eq for EdgeSet {}
 
 impl EdgeSet {
     /// Empty set.
     pub fn new() -> Self {
-        EdgeSet { pairs: Vec::new() }
+        EdgeSet::default()
     }
 
     /// Builds from arbitrary pairs (sorts and dedups).
     pub fn from_pairs(mut pairs: Vec<EdgePair>) -> Self {
         pairs.sort_unstable();
         pairs.dedup();
-        EdgeSet { pairs }
+        EdgeSet {
+            pairs,
+            ..EdgeSet::default()
+        }
+    }
+
+    /// Builds from pairs already sorted by `(parent, node)` and
+    /// duplicate-free — the output contract of the semijoin kernels.
+    pub fn from_sorted(pairs: Vec<EdgePair>) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+        EdgeSet {
+            pairs,
+            ..EdgeSet::default()
+        }
+    }
+
+    /// Drops the cached derived views; must follow every mutation of
+    /// `pairs`.
+    fn invalidate(&mut self) {
+        self.ends = OnceLock::new();
+        self.blocks = OnceLock::new();
     }
 
     /// Builds from `(parent, node)` raw u32 pairs — test convenience.
@@ -93,6 +146,7 @@ impl EdgeSet {
             Ok(_) => false,
             Err(i) => {
                 self.pairs.insert(i, pair);
+                self.invalidate();
                 true
             }
         }
@@ -102,7 +156,7 @@ impl EdgeSet {
     pub fn union(&self, other: &EdgeSet) -> EdgeSet {
         let mut out = Vec::with_capacity(self.len() + other.len());
         merge_union(&self.pairs, &other.pairs, &mut out);
-        EdgeSet { pairs: out }
+        EdgeSet::from_sorted(out)
     }
 
     /// Extends `self` with `other` in place (merge through a scratch
@@ -113,12 +167,14 @@ impl EdgeSet {
         }
         if self.is_empty() {
             self.pairs.extend_from_slice(&other.pairs);
+            self.invalidate();
             return;
         }
         scratch.clear();
         scratch.reserve(self.len() + other.len());
         merge_union(&self.pairs, &other.pairs, scratch);
         std::mem::swap(&mut self.pairs, scratch);
+        self.invalidate();
     }
 
     /// `self \ other` as a new set.
@@ -142,7 +198,7 @@ impl EdgeSet {
                 std::cmp::Ordering::Greater => j += 1,
             }
         }
-        EdgeSet { pairs: out }
+        EdgeSet::from_sorted(out)
     }
 
     /// True if every pair of `self` is in `other`.
@@ -150,12 +206,22 @@ impl EdgeSet {
         self.pairs.iter().all(|p| other.contains(*p))
     }
 
-    /// Distinct end nodes, sorted.
-    pub fn end_nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.pairs.iter().map(|p| p.node).collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+    /// Distinct end nodes, sorted. Computed once and cached; mutation
+    /// invalidates the cache.
+    pub fn end_nodes(&self) -> &[NodeId] {
+        self.ends.get_or_init(|| {
+            let mut v: Vec<NodeId> = self.pairs.iter().map(|p| p.node).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+    }
+
+    /// The compressed block image of this extent (lazy, cached): the
+    /// skip index the adaptive kernels consult and the encoded bytes
+    /// the page model charges.
+    pub fn blocks(&self) -> &BlockExtent {
+        self.blocks.get_or_init(|| BlockExtent::encode(&self.pairs))
     }
 
     /// The join kernel of QTYPE1 evaluation: keeps the pairs of `next`
@@ -163,8 +229,9 @@ impl EdgeSet {
     /// path ending in `self` by one edge drawn from `next`.
     ///
     /// Both inputs are sorted by `(parent, node)`, and `end_nodes` of
-    /// `self` is sorted, so this is a merge. Returns the number of pair
-    /// comparisons as join work for cost accounting.
+    /// `self` is sorted (and cached — this used to rebuild the end-node
+    /// vector on every call), so this is a merge. Returns the number of
+    /// pair comparisons as join work for cost accounting.
     pub fn semijoin_next(&self, next: &EdgeSet) -> (EdgeSet, usize) {
         let ends = self.end_nodes();
         let mut out = Vec::new();
@@ -180,7 +247,7 @@ impl EdgeSet {
                 out.push(*p);
             }
         }
-        (EdgeSet { pairs: out }, work)
+        (EdgeSet::from_sorted(out), work)
     }
 
     /// Merge semijoin: pairs of `self` whose `parent` is in `ends`
@@ -202,33 +269,43 @@ impl EdgeSet {
                 out.push(*p);
             }
         }
-        (EdgeSet { pairs: out }, work)
+        (EdgeSet::from_sorted(out), work)
     }
 
     /// Indexed semijoin: pairs of `self` whose `parent` is in `ends`
     /// (sorted, distinct). Because extents are stored sorted by
-    /// `(parent, node)`, this is a per-end binary-searched range probe —
-    /// the clustered-index access path a real extent store provides.
-    /// Returns the matched pairs and the number of probes performed.
+    /// `(parent, node)`, each end is located by a galloping search from
+    /// the previous match — the clustered-index access path a real
+    /// extent store provides (see [`crate::kernels`] for the
+    /// block-aware variants). Returns the matched pairs and the number
+    /// of probes performed.
     pub fn probe_by_parents(&self, ends: &[NodeId]) -> (EdgeSet, usize) {
         let mut out = Vec::new();
         let mut probes = 0usize;
         let mut lo = 0usize;
         for &e in ends {
+            if lo >= self.pairs.len() {
+                break;
+            }
             probes += 1;
-            // Find the start of the `parent == e` range in pairs[lo..].
-            let start = lo + self.pairs[lo..].partition_point(|p| p.parent < e);
+            // Gallop to the start of the `parent == e` range.
+            let mut step = 1usize;
+            let mut hi = lo;
+            while hi < self.pairs.len() && self.pairs[hi].parent < e {
+                lo = hi + 1;
+                hi += step;
+                step *= 2;
+            }
+            let hi = hi.min(self.pairs.len());
+            let start = lo + self.pairs[lo..hi].partition_point(|p| p.parent < e);
             let mut i = start;
             while i < self.pairs.len() && self.pairs[i].parent == e {
                 out.push(self.pairs[i]);
                 i += 1;
             }
             lo = i;
-            if lo >= self.pairs.len() {
-                break;
-            }
         }
-        (EdgeSet { pairs: out }, probes)
+        (EdgeSet::from_sorted(out), probes)
     }
 
     /// Iterates over pairs.
@@ -236,9 +313,15 @@ impl EdgeSet {
         self.pairs.iter().copied()
     }
 
-    /// Approximate byte size when stored (8 bytes per pair), for the page
-    /// model.
+    /// Byte size when stored: the delta+varint block encoding (payload
+    /// plus skip-index headers), as the page model charges it.
     pub fn stored_bytes(&self) -> usize {
+        self.blocks().encoded_bytes()
+    }
+
+    /// Byte size of the uncompressed 8-bytes-per-pair layout, for
+    /// compression-ratio reporting.
+    pub fn raw_bytes(&self) -> usize {
         self.pairs.len() * std::mem::size_of::<(u32, u32)>()
     }
 }
@@ -328,13 +411,13 @@ mod tests {
         let a = EdgeSet::from_raw(&[(1, 2), (3, 4), (9, 9)]);
         let next = EdgeSet::from_raw(&[(2, 7), (2, 8), (9, 10), (4, 11), (5, 5)]);
         let ends = a.end_nodes();
-        let (probed, probes) = next.probe_by_parents(&ends);
+        let (probed, probes) = next.probe_by_parents(ends);
         let (scanned, _) = a.semijoin_next(&next);
         assert_eq!(probed, scanned);
         assert_eq!(probes, 3);
         // Empty ends and empty extent.
         assert!(next.probe_by_parents(&[]).0.is_empty());
-        assert!(EdgeSet::new().probe_by_parents(&ends).0.is_empty());
+        assert!(EdgeSet::new().probe_by_parents(ends).0.is_empty());
     }
 
     #[test]
@@ -349,5 +432,32 @@ mod tests {
     fn end_nodes_dedup() {
         let s = EdgeSet::from_raw(&[(1, 5), (2, 5), (3, 6)]);
         assert_eq!(s.end_nodes(), vec![NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn cached_views_invalidate_on_mutation() {
+        let mut s = EdgeSet::from_raw(&[(1, 5)]);
+        assert_eq!(s.end_nodes(), vec![NodeId(5)]);
+        let stored = s.stored_bytes();
+        assert!(stored > 0 && stored <= s.raw_bytes() + crate::block::HEADER_BYTES);
+        assert!(s.insert(EdgePair::new(NodeId(2), NodeId(9))));
+        assert_eq!(s.end_nodes(), vec![NodeId(5), NodeId(9)]);
+        assert_eq!(s.blocks().num_pairs(), 2);
+        let mut scratch = Vec::new();
+        s.union_in_place(&EdgeSet::from_raw(&[(3, 11)]), &mut scratch);
+        assert_eq!(s.end_nodes(), vec![NodeId(5), NodeId(9), NodeId(11)]);
+        assert_eq!(s.blocks().num_pairs(), 3);
+        // A failed insert (duplicate) keeps the caches valid.
+        assert!(!s.insert(EdgePair::new(NodeId(3), NodeId(11))));
+        assert_eq!(s.end_nodes().len(), 3);
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_caches() {
+        let a = EdgeSet::from_raw(&[(1, 2), (3, 4)]);
+        let _ = a.end_nodes();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.end_nodes(), a.end_nodes());
     }
 }

@@ -1,0 +1,434 @@
+//! Adaptive semijoin kernels over block extents.
+//!
+//! The join step of every QTYPE1/QTYPE2 plan semijoins a sorted extent
+//! against the sorted, distinct end nodes of the running result. Three
+//! kernels implement it:
+//!
+//! * [`Kernel::Merge`] — one linear pass over the extent, advancing an
+//!   end cursor. Work ≈ `pairs + ends`; touches every block. Best when
+//!   the two sides are of the same order.
+//! * [`Kernel::Gallop`] — per end, an exponential (galloping) search
+//!   from the previous match position followed by a binary refinement.
+//!   Work ≈ `ends · log(gap)`; touches only candidate blocks. Best when
+//!   the ends are much smaller than the extent.
+//! * [`Kernel::BlockSkip`] — walks the block skip index, discarding
+//!   whole blocks whose `[min_parent, max_parent]` range contains no
+//!   end without looking at their pairs, galloping inside the
+//!   surviving blocks. Adds one header probe per block; best when the
+//!   ends are sparse but numerous enough to amortize the header walk.
+//!
+//! [`KernelPolicy::Adaptive`] picks per invocation from the size ratio
+//! of the two sides (see [`KernelPolicy::choose`]); the forced variants
+//! exist so tests and benches can sweep every kernel over the same
+//! plans. All kernels are pair-identical to a naive nested scan; they
+//! differ only in work and in which blocks they fault.
+//!
+//! Callers pass a reusable [`SemijoinScratch`]; kernels never allocate
+//! per invocation (beyond growth of the caller's buffers). The
+//! `blocks` list of touched candidate blocks is what the execution
+//! layer charges to the buffer pool — skipped blocks are never
+//! faulted, which is where the `pages_read` win of the skip index
+//! comes from.
+
+use xmlgraph::NodeId;
+
+use crate::block::BlockExtent;
+use crate::edgeset::{EdgePair, EdgeSet};
+
+/// A concrete semijoin algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Linear sorted merge over the whole extent.
+    Merge,
+    /// Per-end galloping (exponential + binary) search.
+    Gallop,
+    /// Header-driven block skipping, galloping within blocks.
+    BlockSkip,
+}
+
+impl Kernel {
+    /// Kernel name, as shown by `explain` and the kernels bench.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Merge => "merge",
+            Kernel::Gallop => "gallop",
+            Kernel::BlockSkip => "block-skip",
+        }
+    }
+}
+
+/// How the execution layer picks the kernel of each semijoin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Choose per invocation from the size ratio (the default).
+    #[default]
+    Adaptive,
+    /// Always merge.
+    Merge,
+    /// Always gallop.
+    Gallop,
+    /// Always block-skip.
+    BlockSkip,
+}
+
+impl KernelPolicy {
+    /// Every policy, in display order.
+    pub const ALL: [KernelPolicy; 4] = [
+        KernelPolicy::Adaptive,
+        KernelPolicy::Merge,
+        KernelPolicy::Gallop,
+        KernelPolicy::BlockSkip,
+    ];
+
+    /// Policy name (`adaptive`, `merge`, `gallop`, `block-skip`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPolicy::Adaptive => "adaptive",
+            KernelPolicy::Merge => Kernel::Merge.name(),
+            KernelPolicy::Gallop => Kernel::Gallop.name(),
+            KernelPolicy::BlockSkip => Kernel::BlockSkip.name(),
+        }
+    }
+
+    /// Parses a policy name as accepted by the CLI and benches.
+    pub fn parse(s: &str) -> Option<KernelPolicy> {
+        KernelPolicy::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Resolves the kernel for one semijoin of `ends_len` end nodes
+    /// against `extent`.
+    ///
+    /// The rule compares work estimates: a merge inspects every pair
+    /// (`m + n`), a gallop pays about `2·log₂(gap) + 4` comparisons per
+    /// end over gaps of `m / n` pairs, and a block skip pays the same
+    /// within one-page blocks plus one header probe per block. The
+    /// cheapest estimate wins; `BlockSkip` is preferred to `Gallop`
+    /// only once the extent spans several blocks and the header walk
+    /// is amortized (`n ≥ blocks`), since only then does the skip
+    /// index pay for itself.
+    pub fn choose(self, ends_len: usize, extent: &EdgeSet) -> Kernel {
+        match self {
+            KernelPolicy::Merge => Kernel::Merge,
+            KernelPolicy::Gallop => Kernel::Gallop,
+            KernelPolicy::BlockSkip => Kernel::BlockSkip,
+            KernelPolicy::Adaptive => {
+                let m = extent.len();
+                let n = ends_len;
+                if m == 0 || n == 0 {
+                    return Kernel::Merge;
+                }
+                let est_merge = (m + n) as u64;
+                let gap_log = usize::BITS - (m / n).max(1).leading_zeros();
+                let est_search = n as u64 * (2 * gap_log as u64 + 4);
+                if est_merge <= est_search {
+                    return Kernel::Merge;
+                }
+                let blocks = extent.blocks().num_blocks();
+                if blocks > 1 && n >= blocks {
+                    Kernel::BlockSkip
+                } else {
+                    Kernel::Gallop
+                }
+            }
+        }
+    }
+}
+
+/// Caller-owned, reusable semijoin buffers.
+#[derive(Debug, Default)]
+pub struct SemijoinScratch {
+    /// Matched pairs, in extent order.
+    pub out: Vec<EdgePair>,
+    /// Indices of the blocks the kernel faulted (candidate blocks; a
+    /// merge faults all of them). The execution layer charges exactly
+    /// these to the buffer pool.
+    pub blocks: Vec<u32>,
+}
+
+impl SemijoinScratch {
+    /// Fresh empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self) {
+        self.out.clear();
+        self.blocks.clear();
+    }
+}
+
+/// Work/volume counters of one kernel invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelReport {
+    /// Pair/header comparisons performed (the `join_work` counter).
+    pub work: usize,
+    /// Extent pairs resident in the blocks the kernel faulted (the
+    /// `extent_pairs` counter — skipped blocks are never read).
+    pub pairs_read: usize,
+}
+
+/// Runs `kernel` for the semijoin of `extent` against the sorted,
+/// distinct `ends`, leaving the matched pairs (sorted, duplicate-free)
+/// in `scratch.out` and the faulted block indices in `scratch.blocks`.
+pub fn semijoin_into(
+    kernel: Kernel,
+    extent: &EdgeSet,
+    ends: &[NodeId],
+    scratch: &mut SemijoinScratch,
+) -> KernelReport {
+    scratch.reset();
+    if extent.is_empty() {
+        return KernelReport::default();
+    }
+    match kernel {
+        Kernel::Merge => merge_kernel(extent, ends, scratch),
+        Kernel::Gallop => gallop_kernel(extent, ends, scratch),
+        Kernel::BlockSkip => block_skip_kernel(extent, ends, scratch),
+    }
+}
+
+fn merge_kernel(extent: &EdgeSet, ends: &[NodeId], scratch: &mut SemijoinScratch) -> KernelReport {
+    let bx = extent.blocks();
+    scratch.blocks.extend(0..bx.num_blocks() as u32);
+    let pairs = extent.pairs();
+    let mut work = 0usize;
+    let mut ei = 0usize;
+    for p in pairs {
+        work += 1;
+        while ei < ends.len() && ends[ei] < p.parent {
+            ei += 1;
+        }
+        if ei >= ends.len() {
+            break;
+        }
+        if ends[ei] == p.parent {
+            scratch.out.push(*p);
+        }
+    }
+    KernelReport {
+        work,
+        pairs_read: pairs.len(),
+    }
+}
+
+/// Galloping lower bound: first index `i >= lo` with
+/// `pairs[i].parent >= target`, counting comparisons into `work`.
+fn gallop_lower_bound(pairs: &[EdgePair], lo: usize, target: NodeId, work: &mut usize) -> usize {
+    let n = pairs.len();
+    let mut step = 1usize;
+    let mut prev = lo;
+    let mut hi = lo;
+    // Exponential phase: bracket the target.
+    loop {
+        if hi >= n {
+            hi = n;
+            break;
+        }
+        *work += 1;
+        if pairs[hi].parent >= target {
+            break;
+        }
+        prev = hi + 1;
+        hi += step;
+        step *= 2;
+    }
+    // Binary phase within [prev, hi).
+    let mut size = hi - prev;
+    let mut base = prev;
+    while size > 0 {
+        let half = size / 2;
+        *work += 1;
+        if pairs[base + half].parent < target {
+            base += half + 1;
+            size -= half + 1;
+        } else {
+            size = half;
+        }
+    }
+    base
+}
+
+fn gallop_range(
+    pairs: &[EdgePair],
+    ends: &[NodeId],
+    out: &mut Vec<EdgePair>,
+    work: &mut usize,
+) -> usize {
+    let mut lo = 0usize;
+    for &e in ends {
+        if lo >= pairs.len() {
+            break;
+        }
+        let start = gallop_lower_bound(pairs, lo, e, work);
+        let mut i = start;
+        while i < pairs.len() && pairs[i].parent == e {
+            *work += 1;
+            out.push(pairs[i]);
+            i += 1;
+        }
+        lo = i;
+    }
+    lo
+}
+
+fn gallop_kernel(extent: &EdgeSet, ends: &[NodeId], scratch: &mut SemijoinScratch) -> KernelReport {
+    let mut work = 0usize;
+    gallop_range(extent.pairs(), ends, &mut scratch.out, &mut work);
+    let pairs_read = candidate_blocks(extent.blocks(), ends, &mut scratch.blocks);
+    KernelReport { work, pairs_read }
+}
+
+fn block_skip_kernel(
+    extent: &EdgeSet,
+    ends: &[NodeId],
+    scratch: &mut SemijoinScratch,
+) -> KernelReport {
+    let bx = extent.blocks();
+    let pairs = extent.pairs();
+    let mut work = 0usize;
+    let mut pairs_read = 0usize;
+    let mut ei = 0usize;
+    for (k, h) in bx.headers().iter().enumerate() {
+        work += 1; // header probe
+        while ei < ends.len() && ends[ei].0 < h.min_parent {
+            ei += 1;
+        }
+        if ei >= ends.len() {
+            break;
+        }
+        if ends[ei].0 > h.max_parent {
+            continue; // skip the whole block without decoding
+        }
+        scratch.blocks.push(k as u32);
+        pairs_read += h.count as usize;
+        // Ends that can match inside this block's parent range.
+        let sub_end =
+            ei + ends[ei..].partition_point(|e| e.0 <= h.max_parent || h.max_parent == u32::MAX);
+        let range = h.first as usize..(h.first + h.count) as usize;
+        gallop_range(
+            &pairs[range],
+            &ends[ei..sub_end],
+            &mut scratch.out,
+            &mut work,
+        );
+    }
+    KernelReport { work, pairs_read }
+}
+
+/// Collects into `blocks` the indices of blocks whose parent range
+/// intersects `ends` — the blocks a probe-style kernel faults.
+/// Returns the total pairs resident in those blocks.
+fn candidate_blocks(bx: &BlockExtent, ends: &[NodeId], blocks: &mut Vec<u32>) -> usize {
+    let mut pairs_read = 0usize;
+    let mut ei = 0usize;
+    for (k, h) in bx.headers().iter().enumerate() {
+        while ei < ends.len() && ends[ei].0 < h.min_parent {
+            ei += 1;
+        }
+        if ei >= ends.len() {
+            break;
+        }
+        if ends[ei].0 <= h.max_parent {
+            blocks.push(k as u32);
+            pairs_read += h.count as usize;
+        }
+    }
+    pairs_read
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(extent: &EdgeSet, ends: &[NodeId]) -> Vec<EdgePair> {
+        extent.iter().filter(|p| ends.contains(&p.parent)).collect()
+    }
+
+    fn check_all(extent: &EdgeSet, ends: &[NodeId]) {
+        let want = naive(extent, ends);
+        let mut scratch = SemijoinScratch::new();
+        for kernel in [Kernel::Merge, Kernel::Gallop, Kernel::BlockSkip] {
+            let rep = semijoin_into(kernel, extent, ends, &mut scratch);
+            assert_eq!(scratch.out, want, "{} output", kernel.name());
+            assert!(
+                rep.pairs_read <= extent.len(),
+                "{} reads within extent",
+                kernel.name()
+            );
+        }
+        let kernel = KernelPolicy::Adaptive.choose(ends.len(), extent);
+        semijoin_into(kernel, extent, ends, &mut scratch);
+        assert_eq!(scratch.out, want, "adaptive output");
+    }
+
+    #[test]
+    fn kernels_agree_on_small_inputs() {
+        let extent = EdgeSet::from_raw(&[(1, 2), (1, 3), (4, 5), (7, 8), (9, 1)]);
+        check_all(&extent, &[NodeId(1), NodeId(7)]);
+        check_all(&extent, &[NodeId(0)]);
+        check_all(&extent, &[]);
+        check_all(&extent, &[NodeId(9), NodeId(100)]);
+        check_all(&EdgeSet::new(), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn skip_kernel_faults_fewer_blocks() {
+        // Multi-block extent with a probe far from most blocks.
+        let extent = EdgeSet::from_pairs(
+            (0..40_000u32)
+                .map(|i| EdgePair::new(NodeId(i), NodeId(i + 1)))
+                .collect(),
+        );
+        let bx = extent.blocks();
+        assert!(bx.num_blocks() > 2);
+        let ends = [NodeId(3), NodeId(39_999)];
+        let mut scratch = SemijoinScratch::new();
+        let skip = semijoin_into(Kernel::BlockSkip, &extent, &ends, &mut scratch);
+        assert_eq!(scratch.out.len(), 2);
+        assert_eq!(scratch.blocks.len(), 2, "only first and last block fault");
+        assert!(skip.pairs_read < extent.len());
+        let merge = semijoin_into(Kernel::Merge, &extent, &ends, &mut scratch);
+        assert_eq!(scratch.blocks.len(), bx.num_blocks());
+        assert!(skip.work < merge.work);
+    }
+
+    #[test]
+    fn adaptive_matches_ratio() {
+        let big = EdgeSet::from_pairs(
+            (0..50_000u32)
+                .map(|i| EdgePair::new(NodeId(i), NodeId(i)))
+                .collect(),
+        );
+        // Same-order sides merge; sparse probes search.
+        assert_eq!(
+            KernelPolicy::Adaptive.choose(big.len(), &big),
+            Kernel::Merge
+        );
+        assert_eq!(KernelPolicy::Adaptive.choose(2, &big), Kernel::Gallop);
+        let n = big.blocks().num_blocks();
+        assert!(n > 1);
+        assert_eq!(
+            KernelPolicy::Adaptive.choose(n.max(64), &big),
+            Kernel::BlockSkip
+        );
+        // Degenerate inputs fall back to merge.
+        assert_eq!(KernelPolicy::Adaptive.choose(0, &big), Kernel::Merge);
+    }
+
+    #[test]
+    fn policy_parse_roundtrips() {
+        for p in KernelPolicy::ALL {
+            assert_eq!(KernelPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(KernelPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn null_parent_root_pair_is_matchable() {
+        let extent = EdgeSet::from_pairs(vec![
+            EdgePair::new(NodeId(1), NodeId(2)),
+            EdgePair::root(NodeId(0)),
+        ]);
+        check_all(&extent, &[xmlgraph::NULL_NODE]);
+    }
+}

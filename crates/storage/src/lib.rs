@@ -7,6 +7,12 @@
 //! * [`edgeset::EdgeSet`] — the extent representation (sets of
 //!   `<parent, node>` edge pairs, Definition 7), with the merge/union/
 //!   semijoin kernels every query processor uses;
+//! * [`block::BlockExtent`] — the compressed storage image of an
+//!   extent: page-sized blocks of delta+varint encoded pairs under a
+//!   `(min_parent, max_parent, count)` skip index;
+//! * [`kernels`] — the adaptive semijoin kernels (linear merge,
+//!   galloping search, block-skip probing) and the
+//!   [`kernels::KernelPolicy`] that picks between them;
 //! * [`cost::Cost`] — logical cost counters (edges scanned, hash lookups,
 //!   index edges navigated, join output, pages read) accumulated by each
 //!   processor so experiments can report machine-independent costs next to
@@ -26,16 +32,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod bufmgr;
 pub mod cost;
 pub mod datatable;
 pub mod diskstore;
 pub mod edgeset;
+pub mod kernels;
 pub mod pages;
 
+pub use block::{BlockExtent, BlockHeader};
 pub use bufmgr::{BufferHandle, BufferManager, BufferStats, ObjectId, Space};
 pub use cost::{Cost, OpBreakdown, OpCost, OpKind};
 pub use datatable::DataTable;
 pub use diskstore::{ExtentId, ExtentStore};
 pub use edgeset::{EdgePair, EdgeSet};
+pub use kernels::{Kernel, KernelPolicy, KernelReport, SemijoinScratch};
 pub use pages::PageModel;

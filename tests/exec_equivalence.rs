@@ -12,7 +12,7 @@ use apex_query::naive::NaiveProcessor;
 use apex_query::Query;
 use apex_query::{apex_qp::ApexProcessor, fabric_qp::FabricProcessor, guide_qp::GuideProcessor};
 use apex_storage::bufmgr::BufferHandle;
-use apex_storage::{Cost, OpKind};
+use apex_storage::{Cost, KernelPolicy, OpKind};
 use apex_suite::{small, Fixture};
 use xmlgraph::paths::EnumLimits;
 use xmlgraph::XmlGraph;
@@ -150,6 +150,47 @@ fn mixed_workload_on_flix() {
 #[test]
 fn mixed_workload_on_ged() {
     check_dataset(small::ged(), 0xE3);
+}
+
+/// The kernel policy must never change results: the same mixed workload
+/// through APEX under every fixed kernel and the adaptive default
+/// returns the naive oracle's nodes, with attribution still a partition
+/// — and identical logical join output across policies.
+#[test]
+fn every_kernel_policy_is_equivalent() {
+    let fx = Fixture::build(small::flix(), cfg(0xE5));
+    let naive = NaiveProcessor::new(&fx.g, &fx.table);
+    let apex = fx.apex_at(0.01);
+    let mixed: Vec<&Query> = fx
+        .queries
+        .qtype1
+        .iter()
+        .chain(fx.queries.qtype2.iter())
+        .chain(fx.queries.qtype3.iter())
+        .collect();
+    let expect: Vec<Vec<xmlgraph::NodeId>> = mixed.iter().map(|q| naive.eval(q).nodes).collect();
+    let mut join_output: Option<u64> = None;
+    for policy in KernelPolicy::ALL {
+        let p = ApexProcessor::new(&fx.g, &apex, &fx.table).with_kernel_policy(policy);
+        let mut total = Cost::new();
+        for (qi, q) in mixed.iter().enumerate() {
+            let out = p.eval(q);
+            assert_eq!(
+                out.nodes,
+                expect[qi],
+                "policy {} differs on {}",
+                policy.name(),
+                q.render(&fx.g)
+            );
+            assert_partition(&out.cost, policy.name());
+            total += out.cost;
+        }
+        // Whatever kernel runs, the same pairs flow.
+        match join_output {
+            None => join_output = Some(total.join_output),
+            Some(j) => assert_eq!(total.join_output, j, "policy {}", policy.name()),
+        }
+    }
 }
 
 /// `run_batch_parallel` over one shared pool: with an unbounded pool

@@ -308,8 +308,8 @@ mod edgeset_laws {
             let (sa, sb) = (set(&a), set(&b));
             let ends = sa.end_nodes();
             let (scan, _) = sa.semijoin_next(&sb);
-            let (merge, _) = sb.semijoin_ends(&ends);
-            let (probe, _) = sb.probe_by_parents(&ends);
+            let (merge, _) = sb.semijoin_ends(ends);
+            let (probe, _) = sb.probe_by_parents(ends);
             prop_assert_eq!(&scan, &merge);
             prop_assert_eq!(&scan, &probe);
             // Reference semantics: pairs of b whose parent is an end of a.
@@ -322,9 +322,10 @@ mod edgeset_laws {
 
         #[test]
         fn end_nodes_sorted_distinct(a in pairs(40, 60)) {
-            let ends = set(&a).end_nodes();
+            let s = set(&a);
+            let ends = s.end_nodes();
             prop_assert!(ends.windows(2).all(|w| w[0] < w[1]));
-            for e in &ends {
+            for e in ends {
                 prop_assert!(a.iter().any(|&(_, n)| NodeId(n) == *e));
             }
         }
@@ -355,19 +356,23 @@ mod exec_laws {
             let ends = sa.end_nodes();
             let buf = BufferHandle::unbounded();
             let mut ctx = ExecContext::new(&buf);
-            let hit = exec::semijoin(&mut ctx, &ends, Space::ApexExtent, 0, &sb);
+            let hit = exec::semijoin(&mut ctx, ends, Space::ApexExtent, 0, &sb);
             let expect: Vec<EdgePair> = sb
                 .iter()
                 .filter(|p| ends.binary_search(&p.parent).is_ok())
                 .collect();
             prop_assert_eq!(hit.pairs().to_vec(), expect);
-            // Exactly one of the two semijoin operators ran.
+            // Exactly one semijoin kernel ran.
             let cost = ctx.finish();
-            prop_assert_eq!(
-                cost.ops.get(OpKind::SemijoinProbe).invocations
-                    + cost.ops.get(OpKind::SemijoinMerge).invocations,
-                1
-            );
+            let semijoins: u64 = [
+                OpKind::SemijoinMerge,
+                OpKind::SemijoinGallop,
+                OpKind::SemijoinSkip,
+            ]
+            .iter()
+            .map(|&k| cost.ops.get(k).invocations)
+            .sum();
+            prop_assert_eq!(semijoins, 1);
         }
 
         #[test]
@@ -382,7 +387,7 @@ mod exec_laws {
             }
             .run(&mut ctx);
             let ends = u.end_nodes();
-            let _ = exec::semijoin(&mut ctx, &ends, Space::ApexExtent, 2, &sb);
+            let _ = exec::semijoin(&mut ctx, ends, Space::ApexExtent, 2, &sb);
             let cost = ctx.finish();
             // Per-operator scalars sum exactly to the query totals.
             for (i, total) in cost.scalars().iter().enumerate() {
@@ -404,7 +409,7 @@ mod exec_laws {
                 }
                 .run(&mut ctx);
                 let ends = u.end_nodes();
-                let hit = exec::semijoin(&mut ctx, &ends, Space::ApexExtent, 2, &sb);
+                let hit = exec::semijoin(&mut ctx, ends, Space::ApexExtent, 2, &sb);
                 (hit, ctx.finish())
             };
             let (cold_hit, cold) = run(&buf);
@@ -415,6 +420,56 @@ mod exec_laws {
             prop_assert_eq!(warm.extent_pairs, cold.extent_pairs);
             prop_assert_eq!(warm.join_work, cold.join_work);
             prop_assert_eq!(warm.join_output, cold.join_output);
+        }
+    }
+}
+
+/// Laws of the block storage format and the semijoin kernels: every
+/// edge set survives encode → decode (in memory and through the byte
+/// image), and all three kernels — plus whatever the adaptive policy
+/// picks — return exactly the pairs a naive scan selects.
+mod block_kernel_laws {
+    use apex_storage::kernels::{self, Kernel, KernelPolicy, SemijoinScratch};
+    use apex_storage::{BlockExtent, EdgePair, EdgeSet};
+    use proptest::prelude::*;
+    use xmlgraph::NodeId;
+
+    fn pairs(max: u32, count: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+        proptest::collection::vec((0..max, 0..max), 0..count)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        #[test]
+        fn encode_decode_roundtrips(a in pairs(100_000, 120)) {
+            let s = EdgeSet::from_raw(&a);
+            let bx = BlockExtent::encode(s.pairs());
+            prop_assert_eq!(bx.num_pairs(), s.len());
+            prop_assert_eq!(bx.decode().unwrap(), s.pairs().to_vec());
+            // …and through the serialized image.
+            let img = bx.to_bytes();
+            let back = BlockExtent::from_bytes(&img).unwrap();
+            prop_assert_eq!(back.decode().unwrap(), s.pairs().to_vec());
+            prop_assert_eq!(back.encoded_bytes(), bx.encoded_bytes());
+        }
+
+        #[test]
+        fn kernels_match_naive_scan(a in pairs(400, 60), b in pairs(400, 80)) {
+            let extent = EdgeSet::from_raw(&b);
+            let ends: Vec<NodeId> = EdgeSet::from_raw(&a).end_nodes().to_vec();
+            let expect: Vec<EdgePair> = extent
+                .iter()
+                .filter(|p| ends.binary_search(&p.parent).is_ok())
+                .collect();
+            let mut scratch = SemijoinScratch::new();
+            for kernel in [Kernel::Merge, Kernel::Gallop, Kernel::BlockSkip] {
+                kernels::semijoin_into(kernel, &extent, &ends, &mut scratch);
+                prop_assert_eq!(&scratch.out, &expect, "kernel {}", kernel.name());
+            }
+            let picked = KernelPolicy::Adaptive.choose(ends.len(), &extent);
+            kernels::semijoin_into(picked, &extent, &ends, &mut scratch);
+            prop_assert_eq!(&scratch.out, &expect, "adaptive -> {}", picked.name());
         }
     }
 }
