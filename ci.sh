@@ -62,9 +62,22 @@ kernel_smoke() {
     rm -rf "$out"
 }
 
+# The network load generator is the serving smoke test: it drives a
+# real apex-net socket server closed- and open-loop while the refresher
+# swaps index generations underneath, then drains and *asserts* the
+# accounting invariant (accepted == served + shed + timed-out, queue
+# high-water ≤ cap, overload shed explicitly, ≥2 generations served).
+net_smoke() {
+    local out
+    out=$(mktemp -d)
+    (cd "$out" && timeout 120 "$OLDPWD/target/release/netload")
+    rm -rf "$out"
+}
+
 run cargo build --release --offline --workspace
 run cargo test --offline --workspace --quiet
 run kernel_smoke
+run net_smoke
 run stress
 run cargo clippy --offline --workspace --all-targets -- "${CLIPPY_EXTRA[@]}" -D warnings
 run cargo run --release --offline --quiet -p apex-lint -- --root .

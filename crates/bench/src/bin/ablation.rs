@@ -116,12 +116,12 @@ fn main() -> std::io::Result<()> {
         incr.refine(&ex.g, &wl1, 0.005);
         let t = Instant::now();
         let steps_incr = incr.refine(&ex.g, &wl2, 0.005);
-        let incr_ms = t.elapsed().as_secs_f64() * 1e3;
+        let incr_ms = apex_query::stats::millis(t.elapsed());
 
         let t = Instant::now();
         let mut fresh = apex::Apex::build_initial(&ex.g);
         let steps_fresh = fresh.refine(&ex.g, &wl2, 0.005);
-        let fresh_ms = t.elapsed().as_secs_f64() * 1e3;
+        let fresh_ms = apex_query::stats::millis(t.elapsed());
 
         println!(
             "{:<18} {:>12} {:>12.1} {:>14} {:>14.1}",

@@ -24,6 +24,7 @@ use apex::{Apex, IndexCell, RefreshPolicy, Refresher, WorkloadMonitor};
 use apex_bench::report::{BenchReport, Json};
 use apex_bench::{print_adaptive_header, print_adaptive_row, Experiment, Scale};
 use apex_query::batch::run_adaptive;
+use apex_query::stats::millis;
 use apex_query::AdaptiveStats;
 use apex_storage::bufmgr::BufferHandle;
 
@@ -67,7 +68,7 @@ fn main() {
                     .records
                     .iter()
                     .find(|r| r.generation == row.generation)
-                    .map(|r| r.wall.as_secs_f64() * 1e3);
+                    .map(|r| millis(r.wall));
                 print_adaptive_row(d.name(), row, stats, swap_ms);
                 report.push(Json::Obj(vec![
                     ("dataset", Json::str(d.name())),
@@ -76,7 +77,7 @@ fn main() {
                     ("result_nodes", Json::U64(row.result_nodes as u64)),
                     ("phase_pages_read", Json::U64(stats.batch.cost.pages_read)),
                     ("phase_join_work", Json::U64(stats.batch.cost.join_work)),
-                    ("wall_ms", Json::F64(row.wall.as_secs_f64() * 1e3)),
+                    ("wall_ms", Json::F64(millis(row.wall))),
                 ]));
             }
         }
@@ -91,8 +92,8 @@ fn main() {
             serve_stats.refreshes,
             serve_stats.coalesced,
             serve_stats.empty_windows,
-            serve_stats.swap_total().as_secs_f64() * 1e3,
-            serve_stats.swap_max().as_secs_f64() * 1e3,
+            millis(serve_stats.swap_total()),
+            millis(serve_stats.swap_max()),
         );
         assert!(
             generations.len() >= 3,

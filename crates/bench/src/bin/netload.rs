@@ -1,0 +1,300 @@
+//! Networked-serving load generator: drives a real apex-net socket
+//! server with closed-loop and open-loop traffic while the background
+//! refresher swaps index generations underneath, then drains and
+//! checks the accounting.
+//!
+//! Phases:
+//!
+//! 1. **closed-loop** — `CLIENTS` threads, one outstanding request
+//!    each, `PER_CLIENT` requests per thread. Measures end-to-end
+//!    latency (p50/p99) at a sustainable rate and watches response
+//!    generations to prove snapshot swaps happened mid-run.
+//! 2. **open-loop burst** — one connection pipelines `BURST` requests
+//!    against a deliberately small queue, forcing admission control to
+//!    shed with explicit `Overloaded` responses; a slice of the burst
+//!    carries a 1 ms deadline to exercise `DeadlineExceeded` too.
+//! 3. **drain** — graceful shutdown; asserts the no-silent-drop
+//!    invariant `accepted == served + shed + timed_out`, the queue
+//!    high-water mark ≤ its cap, and that overload really shed.
+//!
+//! ```bash
+//! cargo run --release --bin netload            # small scale
+//! cargo run --release --bin netload -- --seed 7
+//! ```
+//!
+//! Writes `BENCH_netload.json` with one row per phase (p50/p99, shed
+//! rate, status mix) plus the final server accounting.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use apex::{Apex, IndexCell, RefreshPolicy, Refresher, WorkloadMonitor};
+use apex_bench::report::{BenchReport, Json};
+use apex_bench::{base_seed, Experiment, Scale};
+use apex_net::{Client, Engine, NetStats, Server, ServerConfig, Status};
+use apex_query::stats::{micros, millis, percentile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CLIENTS: usize = 4;
+const PER_CLIENT: usize = 200;
+const BURST: usize = 600;
+const WORKERS: usize = 2;
+const QUEUE_CAP: usize = 16;
+
+/// One closed-loop observation.
+struct Obs {
+    latency: Duration,
+    generation: u64,
+    status: Status,
+}
+
+fn closed_loop_client(
+    addr: std::net::SocketAddr,
+    queries: &[String],
+    seed: u64,
+) -> Result<Vec<Obs>, apex_net::WireError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut c = Client::connect(addr)?;
+    let mut out = Vec::with_capacity(PER_CLIENT);
+    for _ in 0..PER_CLIENT {
+        let q = &queries[rng.gen_range(0..queries.len())];
+        let t = Instant::now();
+        let resp = c.call(q, 0)?;
+        out.push(Obs {
+            latency: t.elapsed(),
+            generation: resp.generation,
+            status: resp.status,
+        });
+    }
+    Ok(out)
+}
+
+fn phase_row(phase: &str, sent: usize, latencies: &mut [Duration], statuses: &[Status]) -> Json {
+    latencies.sort_unstable();
+    let count = |s: Status| statuses.iter().filter(|&&x| x == s).count() as u64;
+    let shed = count(Status::Overloaded) + count(Status::Draining);
+    Json::Obj(vec![
+        ("phase", Json::str(phase)),
+        ("requests", Json::U64(sent as u64)),
+        ("p50_us", Json::F64(micros(percentile(latencies, 0.50)))),
+        ("p99_us", Json::F64(micros(percentile(latencies, 0.99)))),
+        ("ok", Json::U64(count(Status::Ok))),
+        ("overloaded", Json::U64(count(Status::Overloaded))),
+        (
+            "deadline_exceeded",
+            Json::U64(count(Status::DeadlineExceeded)),
+        ),
+        ("shed_rate", Json::F64(shed as f64 / sent.max(1) as f64)),
+    ])
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_env();
+    let seed = base_seed();
+    let mut report = BenchReport::new("netload");
+
+    // Serving stack over the first dataset at this scale, with an
+    // aggressive periodic refresh policy so generations swap while the
+    // socket traffic is live.
+    let datasets = scale.datasets();
+    let d = datasets[0];
+    let e = Experiment::new(d, scale);
+    let g = Arc::new(e.g.clone());
+    let table = Arc::new(e.table);
+    let cell = Arc::new(IndexCell::new(Apex::build_initial(&g)));
+    let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(
+        200,
+        0.01,
+        RefreshPolicy::EveryN(50),
+    )));
+    let refresher = Arc::new(Refresher::spawn(
+        Arc::clone(&g),
+        Arc::clone(&cell),
+        Arc::clone(&monitor),
+    )?);
+    let engine = Engine::new(
+        Arc::clone(&g),
+        Arc::clone(&table),
+        Arc::clone(&cell),
+        Arc::clone(&monitor),
+    )
+    .with_refresher(Arc::clone(&refresher));
+    let mut server = Server::start(
+        engine,
+        ServerConfig {
+            workers: WORKERS,
+            queue_cap: QUEUE_CAP,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )?;
+    let addr = server.local_addr();
+    println!(
+        "netload: {} on {addr} ({WORKERS} workers, queue cap {QUEUE_CAP}, seed {seed})",
+        d.name()
+    );
+
+    // The query pool: rendered QTYPE1 texts (path-shaped, so every one
+    // is recorded by the monitor and steers the refresher).
+    let queries: Vec<String> = e
+        .queries
+        .qtype1
+        .iter()
+        .take(256)
+        .map(|q| q.render(&g))
+        .collect();
+    assert!(!queries.is_empty(), "no queries generated");
+
+    // Phase 1: closed loop.
+    let t_phase = Instant::now();
+    let mut observations: Vec<Obs> = Vec::with_capacity(CLIENTS * PER_CLIENT);
+    std::thread::scope(|s| -> Result<(), apex_net::WireError> {
+        let mut handles = Vec::new();
+        for i in 0..CLIENTS {
+            let queries = &queries;
+            handles.push(s.spawn(move || closed_loop_client(addr, queries, seed ^ (i as u64 + 1))));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(obs) => observations.extend(obs?),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        Ok(())
+    })?;
+    let closed_wall = t_phase.elapsed();
+    let generations: std::collections::BTreeSet<u64> =
+        observations.iter().map(|o| o.generation).collect();
+    let mut lat: Vec<Duration> = observations.iter().map(|o| o.latency).collect();
+    let statuses: Vec<Status> = observations.iter().map(|o| o.status).collect();
+    let sent = observations.len();
+    report.push(phase_row("closed_loop", sent, &mut lat, &statuses));
+    println!(
+        "closed loop: {sent} requests over {CLIENTS} clients in {:.1} ms, p50 {:.1} us, p99 {:.1} us, \
+         served on {} generation(s) {:?}",
+        millis(closed_wall),
+        micros(percentile(&lat, 0.50)),
+        micros(percentile(&lat, 0.99)),
+        generations.len(),
+        generations
+    );
+    assert!(
+        statuses.iter().all(|&s| s == Status::Ok),
+        "closed loop must not shed at this rate"
+    );
+    assert!(
+        generations.len() >= 2,
+        "expected snapshot swaps under live traffic, saw only {generations:?}"
+    );
+
+    // Phase 2: open-loop overload burst — pipeline everything, then
+    // collect. Every 3rd request carries a 1 ms deadline.
+    let mut c = Client::connect(addr)?;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB0057);
+    let t_phase = Instant::now();
+    let mut sent_at: Vec<Instant> = Vec::with_capacity(BURST);
+    for i in 0..BURST {
+        let q = &queries[rng.gen_range(0..queries.len())];
+        c.send(q, if i % 3 == 0 { 1 } else { 0 })?;
+        sent_at.push(Instant::now());
+    }
+    let mut burst_statuses = Vec::with_capacity(BURST);
+    let mut burst_lat = Vec::with_capacity(BURST);
+    for _ in 0..BURST {
+        match c.recv()? {
+            Some(resp) => {
+                // Turnaround from send time, by id (ids are 0..BURST).
+                let at = sent_at[resp.id as usize];
+                burst_lat.push(at.elapsed());
+                burst_statuses.push(resp.status);
+            }
+            None => return Err("server closed mid-burst".into()),
+        }
+    }
+    let burst_wall = t_phase.elapsed();
+    drop(c);
+    let overloaded = burst_statuses
+        .iter()
+        .filter(|&&s| s == Status::Overloaded)
+        .count();
+    let deadline_exceeded = burst_statuses
+        .iter()
+        .filter(|&&s| s == Status::DeadlineExceeded)
+        .count();
+    report.push(phase_row(
+        "open_loop_burst",
+        BURST,
+        &mut burst_lat,
+        &burst_statuses,
+    ));
+    println!(
+        "open-loop burst: {BURST} pipelined in {:.1} ms — {overloaded} overloaded, \
+         {deadline_exceeded} deadline-exceeded, every request answered",
+        millis(burst_wall)
+    );
+    assert!(
+        overloaded > 0,
+        "a {BURST}-request burst through a {QUEUE_CAP}-slot queue must shed"
+    );
+
+    // Phase 3: drain, then verify the books.
+    let stats: NetStats = server.drain();
+    drop(server); // releases the engine's refresher handle
+    let serve_stats = match Arc::try_unwrap(refresher) {
+        Ok(r) => r.shutdown(),
+        Err(_) => return Err("refresher still shared after drain".into()),
+    };
+    println!("drain: {stats}");
+    println!(
+        "refresher: {} generation(s) published, {} coalesced, swap wall max {:.2} ms",
+        serve_stats.refreshes,
+        serve_stats.coalesced,
+        millis(serve_stats.swap_max())
+    );
+    assert!(
+        stats.balanced(),
+        "silent drop: accepted {} != served {} + shed {} + timed-out {}",
+        stats.accepted,
+        stats.served,
+        stats.shed,
+        stats.timed_out
+    );
+    assert_eq!(
+        stats.accepted,
+        (sent + BURST) as u64,
+        "every sent request must have been admitted"
+    );
+    assert!(
+        stats.queue_hwm <= QUEUE_CAP,
+        "queue high-water {} exceeded cap {QUEUE_CAP}",
+        stats.queue_hwm
+    );
+    assert!(serve_stats.refreshes >= 1, "no snapshot swap published");
+
+    report.meta("dataset", Json::str(d.name()));
+    report.meta("workers", Json::U64(WORKERS as u64));
+    report.meta("queue_cap", Json::U64(QUEUE_CAP as u64));
+    report.meta("clients", Json::U64(CLIENTS as u64));
+    report.meta("generations_observed", Json::U64(generations.len() as u64));
+    report.meta("swaps_published", Json::U64(serve_stats.refreshes));
+    report.meta(
+        "final",
+        Json::Obj(vec![
+            ("connections", Json::U64(stats.connections)),
+            ("accepted", Json::U64(stats.accepted)),
+            ("served", Json::U64(stats.served)),
+            ("shed", Json::U64(stats.shed)),
+            ("timed_out", Json::U64(stats.timed_out)),
+            ("queue_hwm", Json::U64(stats.queue_hwm as u64)),
+            ("balanced", Json::Bool(stats.balanced())),
+        ]),
+    );
+    let path = report.write()?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run()
+}

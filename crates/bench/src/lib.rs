@@ -30,6 +30,35 @@ use xmlgraph::XmlGraph;
 /// The minSup sweep of Table 2 and Figure 13.
 pub const MINSUPS: [f64; 5] = [0.002, 0.005, 0.01, 0.03, 0.05];
 
+/// The default RNG base seed (`--seed` / `APEX_SEED` override it).
+pub const DEFAULT_SEED: u64 = 0x5EED;
+
+/// The base RNG seed for this bench run: `--seed <u64>` from argv,
+/// else `APEX_SEED` from the environment, else [`DEFAULT_SEED`].
+/// Every binary derives its generator seeds from this one value, and
+/// every `BENCH_<name>.json` records it (see [`report::BenchReport`]),
+/// so any reported row can be reproduced by re-running with the same
+/// seed.
+pub fn base_seed() -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let v = if a == "--seed" {
+            args.next()
+        } else {
+            a.strip_prefix("--seed=").map(str::to_string)
+        };
+        if let Some(v) = v {
+            if let Ok(seed) = v.parse::<u64>() {
+                return seed;
+            }
+        }
+    }
+    std::env::var("APEX_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -124,7 +153,7 @@ impl Experiment {
             qtype2: q2,
             qtype3: q3,
             workload_fraction: 0.20,
-            seed: 0x5EED ^ d.paper_nodes() as u64,
+            seed: base_seed() ^ d.paper_nodes() as u64,
             limits: EnumLimits {
                 max_len: 12,
                 max_paths: 100_000,
@@ -268,11 +297,12 @@ pub mod report {
     }
 
     impl BenchReport {
-        /// A fresh report for the binary `name`.
+        /// A fresh report for the binary `name`. The run's base RNG
+        /// seed is recorded up front so every report is reproducible.
         pub fn new(name: &'static str) -> Self {
             BenchReport {
                 name,
-                meta: Vec::new(),
+                meta: vec![("seed", Json::U64(crate::base_seed()))],
                 rows: Vec::new(),
             }
         }
@@ -313,7 +343,7 @@ pub mod report {
             ("join_work", Json::U64(stats.cost.join_work)),
             ("join_output", Json::U64(stats.cost.join_output)),
             ("result_nodes", Json::U64(stats.result_nodes as u64)),
-            ("wall_ms", Json::F64(stats.wall.as_secs_f64() * 1e3)),
+            ("wall_ms", Json::F64(apex_query::stats::millis(stats.wall))),
         ];
         if let Some(b) = &stats.buf {
             fields.push(("buf_hit_rate", Json::F64(b.hit_rate())));
@@ -384,9 +414,9 @@ pub fn print_adaptive_row(
         row.generation,
         row.queries,
         row.result_nodes,
-        row.wall.as_secs_f64() * 1e3,
-        stats.p50.as_secs_f64() * 1e6,
-        stats.p99.as_secs_f64() * 1e6,
+        apex_query::stats::millis(row.wall),
+        apex_query::stats::micros(stats.p50),
+        apex_query::stats::micros(stats.p99),
         swap_ms.map_or("-".to_string(), |ms| format!("{ms:.2}")),
         hit
     );
@@ -409,7 +439,7 @@ pub fn print_row(dataset: &str, index: &str, stats: &apex_query::BatchStats) {
         stats.cost.index_edges,
         stats.cost.join_work,
         stats.result_nodes,
-        stats.wall.as_secs_f64() * 1e3,
+        apex_query::stats::millis(stats.wall),
         hit
     );
 }

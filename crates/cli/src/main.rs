@@ -5,7 +5,16 @@
 //! apex-cli --dataset Flix01         # or a generated Table 1 dataset
 //! apex-cli --dataset ged --size 200 # or a custom-size family instance
 //! apex-cli --dataset Flix01 --buffer-pages 64   # bounded LRU pool
+//! apex-cli --dataset Flix01 listen 127.0.0.1:7431 --refresh-every 50
 //! ```
+//!
+//! `listen <addr>` serves queries over TCP (the apex-net protocol)
+//! instead of opening the shell: remote clients connect with
+//! `apex_net::Client` (or the `netload` generator), and with
+//! `--refresh-every N` the background refresher keeps swapping refined
+//! index generations under the live socket traffic. `--workers`,
+//! `--queue-cap` and `--deadline-ms` tune the admission control. Type
+//! `stop` (or EOF / `stats`) on stdin to drain gracefully / inspect.
 //!
 //! Commands inside the shell:
 //!
@@ -61,13 +70,21 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let listen_cfg = match take_listen(&mut args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let g = match load_graph(&args) {
         Ok(g) => Arc::new(g),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: apex-cli --file <xml> | --dataset <Table1-name|play|flix|ged> \
-                 [--size N] [--buffer-pages N] [--refresh-every N]"
+                 [--size N] [--buffer-pages N] [--refresh-every N] \
+                 [listen <addr> [--workers N] [--queue-cap N] [--deadline-ms N]]"
             );
             std::process::exit(2);
         }
@@ -90,6 +107,10 @@ fn main() {
         None => RefreshPolicy::Manual,
     };
     let mut monitor = WorkloadMonitor::new(1000, 0.1, policy);
+    if let Some(cfg) = listen_cfg {
+        listen(g, table, index, monitor, &cfg);
+        return;
+    }
     // One buffer pool for the whole session: queries warm it, repeats
     // hit it. Processors are rebuilt per eval (tune/load swap the
     // index) but share this pool through cloned handles.
@@ -223,7 +244,7 @@ fn main() {
                     println!(
                         "{} node(s) in {:.2} ms | {}",
                         res.nodes.len(),
-                        elapsed.as_secs_f64() * 1e3,
+                        apex_query::stats::millis(elapsed),
                         res.cost
                     );
                     println!("buffer: {}", buf.stats() - before);
@@ -293,8 +314,8 @@ fn serve(
         serve_stats.refreshes,
         serve_stats.coalesced,
         serve_stats.empty_windows,
-        serve_stats.swap_total().as_secs_f64() * 1e3,
-        serve_stats.swap_max().as_secs_f64() * 1e3,
+        apex_query::stats::millis(serve_stats.swap_total()),
+        apex_query::stats::millis(serve_stats.swap_max()),
     );
     for r in &serve_stats.records {
         println!(
@@ -302,7 +323,7 @@ fn serve(
             r.generation,
             r.steps,
             r.window,
-            r.wall.as_secs_f64() * 1e3
+            apex_query::stats::millis(r.wall)
         );
     }
     // Adopt the final published index and the replay's monitor state.
@@ -312,6 +333,176 @@ fn serve(
         .unwrap_or_else(|p| p.into_inner())
         .clone();
     println!("adopted gen {} as the session index", cell.generation());
+}
+
+/// `listen` subcommand configuration.
+struct ListenConfig {
+    addr: String,
+    workers: usize,
+    queue_cap: usize,
+    deadline_ms: u64,
+}
+
+/// Serves queries over TCP instead of the interactive shell: the index
+/// moves into an [`IndexCell`], the background [`Refresher`] adapts it
+/// from the remote workload (snapshot swaps under live socket
+/// traffic), and stdin controls the lifecycle — `stats` prints live
+/// accounting, `stop`/`quit`/EOF drains gracefully.
+fn listen(
+    g: Arc<XmlGraph>,
+    table: DataTable,
+    index: Apex,
+    monitor: WorkloadMonitor,
+    cfg: &ListenConfig,
+) {
+    let table = Arc::new(table);
+    let cell = Arc::new(IndexCell::new(index));
+    let monitor = Arc::new(Mutex::new(monitor));
+    let refresher = match Refresher::spawn(Arc::clone(&g), Arc::clone(&cell), Arc::clone(&monitor))
+    {
+        Ok(r) => Arc::new(r),
+        Err(e) => {
+            eprintln!("cannot spawn refresher: {e}");
+            std::process::exit(1);
+        }
+    };
+    let engine = apex_net::Engine::new(
+        Arc::clone(&g),
+        table,
+        Arc::clone(&cell),
+        Arc::clone(&monitor),
+    )
+    .with_refresher(Arc::clone(&refresher));
+    let server_cfg = apex_net::ServerConfig {
+        workers: cfg.workers,
+        queue_cap: cfg.queue_cap,
+        default_deadline: (cfg.deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(cfg.deadline_ms)),
+        ..apex_net::ServerConfig::default()
+    };
+    let mut server = match apex_net::Server::start(engine, server_cfg, cfg.addr.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "listening on {} ({} workers, queue cap {}) — `stats` for live counters, `stop` to drain",
+        server.local_addr(),
+        cfg.workers,
+        cfg.queue_cap
+    );
+    let stdin = std::io::stdin();
+    loop {
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF: drain
+            Ok(_) => {}
+        }
+        match line.trim() {
+            "stop" | "quit" | "q" => break,
+            "stats" => {
+                println!("{}", server.stats());
+                println!("generation {} published", cell.generation());
+            }
+            "" => {}
+            other => println!("unknown `{other}` — `stats` or `stop`"),
+        }
+    }
+    println!("draining…");
+    let net = server.drain();
+    let per_conn = server_conn_lines(&server);
+    for l in per_conn {
+        println!("  {l}");
+    }
+    println!("{net}");
+    if !net.balanced() {
+        eprintln!("warning: accounting imbalance — a request was silently dropped");
+    }
+    drop(server); // releases the engine's refresher handle
+    let serve_stats = match Arc::try_unwrap(refresher) {
+        Ok(r) => r.shutdown(),
+        Err(shared) => {
+            // Something still holds the refresher; signal and let its
+            // Drop join when the last handle goes away.
+            shared.begin_shutdown();
+            return;
+        }
+    };
+    println!(
+        "refresher: {} generation(s) published, {} coalesced | swap wall total {:.2} ms, max {:.2} ms",
+        serve_stats.refreshes,
+        serve_stats.coalesced,
+        apex_query::stats::millis(serve_stats.swap_total()),
+        apex_query::stats::millis(serve_stats.swap_max()),
+    );
+}
+
+/// Per-connection accounting lines for the drain report.
+fn server_conn_lines(server: &apex_net::Server) -> Vec<String> {
+    server
+        .connection_stats()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            format!(
+                "conn {i}: accepted {} served {} shed {} timed-out {}",
+                c.accepted, c.served, c.shed, c.timed_out
+            )
+        })
+        .collect()
+}
+
+/// Extracts `listen <addr>` plus its tuning flags (`--workers N`,
+/// `--queue-cap N`, `--deadline-ms N`) from `args`, removing them.
+fn take_listen(args: &mut Vec<String>) -> Result<Option<ListenConfig>, String> {
+    let Some(i) = args.iter().position(|a| a == "listen") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("listen needs an address (e.g. 127.0.0.1:7431 or 127.0.0.1:0)".into());
+    }
+    let addr = args[i + 1].clone();
+    args.drain(i..=i + 1);
+    let mut cfg = ListenConfig {
+        addr,
+        workers: 4,
+        queue_cap: 64,
+        deadline_ms: 0,
+    };
+    for (flag, field) in [
+        ("--workers", 0usize),
+        ("--queue-cap", 1),
+        ("--deadline-ms", 2),
+    ] {
+        let Some(j) = args.iter().position(|a| a == flag) else {
+            continue;
+        };
+        if j + 1 >= args.len() {
+            return Err(format!("{flag} needs a number"));
+        }
+        let v: u64 = args[j + 1]
+            .parse()
+            .map_err(|_| format!("{flag}: not a number: {}", args[j + 1]))?;
+        match field {
+            0 => {
+                if v == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                cfg.workers = v as usize;
+            }
+            1 => {
+                if v == 0 {
+                    return Err("--queue-cap must be at least 1".into());
+                }
+                cfg.queue_cap = v as usize;
+            }
+            _ => cfg.deadline_ms = v,
+        }
+        args.drain(j..=j + 1);
+    }
+    Ok(Some(cfg))
 }
 
 /// Extracts `--refresh-every N` from `args` (removing it), selecting the

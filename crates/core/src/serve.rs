@@ -264,6 +264,27 @@ impl Refresher {
         self.shared.lock().stats.refreshes
     }
 
+    /// True while a rebuild is queued or running — the signal drain
+    /// sequencers poll to overlap their own teardown with the final
+    /// refresh cycle instead of blocking in [`Refresher::shutdown`].
+    pub fn is_busy(&self) -> bool {
+        let st = self.shared.lock();
+        st.pending || st.in_flight
+    }
+
+    /// Drain hook: signals shutdown without joining. The worker finishes
+    /// its in-flight cycle, runs one final cycle if a request is still
+    /// queued, then exits; later [`Refresher::request_refresh`] calls
+    /// are refused (`false`). Callers that share the refresher across
+    /// threads (the network server's drain path) call this first so the
+    /// refresher winds down concurrently with connection teardown, then
+    /// join through [`Refresher::shutdown`] (or `Drop`).
+    pub fn begin_shutdown(&self) {
+        let mut st = self.shared.lock();
+        st.shutdown = true;
+        self.shared.cv.notify_all();
+    }
+
     /// Graceful shutdown: lets the in-flight cycle finish, runs one
     /// final cycle if a request is queued, joins the thread, and returns
     /// the accumulated stats.
@@ -273,11 +294,7 @@ impl Refresher {
     }
 
     fn signal_shutdown_and_join(&mut self) {
-        {
-            let mut st = self.shared.lock();
-            st.shutdown = true;
-            self.shared.cv.notify_all();
-        }
+        self.begin_shutdown();
         if let Some(handle) = self.handle.take() {
             if let Err(e) = handle.join() {
                 std::panic::resume_unwind(e);
@@ -493,6 +510,89 @@ mod tests {
         assert_eq!(scheduled + stats.coalesced, 50);
         assert!(stats.refreshes >= 1);
         assert!(cell.generation() >= 1);
+    }
+
+    #[test]
+    fn begin_shutdown_refuses_later_requests_but_drains_queued_work() {
+        let g = Arc::new(moviedb());
+        let cell = Arc::new(IndexCell::new(Apex::build_initial(&g)));
+        let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(
+            100,
+            0.1,
+            RefreshPolicy::Manual,
+        )));
+        for _ in 0..4 {
+            monitor.lock().unwrap().record(path(&g, "actor.name"));
+        }
+        let refresher =
+            Refresher::spawn(Arc::clone(&g), Arc::clone(&cell), monitor).expect("spawn");
+        assert!(refresher.request_refresh());
+        refresher.begin_shutdown();
+        // The queued cycle still runs; new requests are refused.
+        assert!(!refresher.request_refresh());
+        let stats = refresher.shutdown();
+        assert_eq!(stats.refreshes, 1);
+        assert_eq!(cell.generation(), 1);
+    }
+
+    #[test]
+    fn shutdown_with_refresh_in_flight_joins_and_publishes_nothing_after() {
+        // Satellite coverage: shut down while a rebuild may be mid-cycle.
+        // Whatever the interleaving (the refresh finished already, is in
+        // flight, or is still queued), shutdown must (a) return promptly
+        // with the thread joined, (b) publish nothing afterwards, and
+        // (c) leave ServeStats consistent with the cell's generation.
+        for lap in 0..8u64 {
+            let g = Arc::new(moviedb());
+            let cell = Arc::new(IndexCell::new(Apex::build_initial(&g)));
+            let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(
+                100,
+                0.1,
+                RefreshPolicy::Manual,
+            )));
+            for i in 0..6 {
+                let p = if (i + lap) % 2 == 0 {
+                    "actor.name"
+                } else {
+                    "movie.title"
+                };
+                monitor.lock().unwrap().record(path(&g, p));
+            }
+            let refresher =
+                Refresher::spawn(Arc::clone(&g), Arc::clone(&cell), Arc::clone(&monitor))
+                    .expect("spawn");
+            refresher.request_refresh();
+            // Vary the race window: sometimes shut down immediately
+            // (refresh likely still queued/in flight), sometimes after
+            // the cycle is provably done.
+            if lap % 2 == 1 {
+                refresher.wait_idle();
+                assert!(!refresher.is_busy());
+            }
+            let started = Instant::now();
+            let stats = refresher.shutdown();
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "shutdown must join promptly"
+            );
+            // No swap is published after shutdown returns: the worker is
+            // joined, so the generation is final.
+            let generation_at_return = cell.generation();
+            assert_eq!(
+                generation_at_return, stats.refreshes,
+                "every publish is accounted as a refresh"
+            );
+            assert_eq!(stats.records.len(), stats.refreshes as usize);
+            for (i, r) in stats.records.iter().enumerate() {
+                assert_eq!(r.generation, i as u64 + 1, "publishes are dense from 1");
+                assert!(r.window > 0, "published cycles drained a window");
+            }
+            assert_eq!(cell.snapshot().generation(), generation_at_return);
+            assert_eq!(cell.generation(), generation_at_return, "no late publish");
+            // The drained window was non-empty, so exactly one cycle ran.
+            assert_eq!(stats.refreshes, 1);
+            assert_eq!(monitor.lock().unwrap().since_refresh(), 0);
+        }
     }
 
     #[test]

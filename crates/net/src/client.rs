@@ -1,0 +1,83 @@
+//! A small blocking client for the apex-net protocol.
+//!
+//! Two usage styles:
+//!
+//! * **closed loop** — [`Client::call`] sends one request and blocks
+//!   for its response (one outstanding request at a time);
+//! * **open loop / pipelined** — [`Client::send`] many requests, then
+//!   [`Client::recv`] responses as they arrive; ids correlate them
+//!   (workers race, so responses may be reordered).
+//!
+//! The load generator and the CLI both sit on this type, as do the
+//! server's own end-to-end tests.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{
+    read_message, write_message, Message, Request, Response, WireError, DEFAULT_MAX_FRAME,
+};
+
+/// A blocking connection to an apex-net server.
+pub struct Client {
+    reader: TcpStream,
+    writer: TcpStream,
+    next_id: u64,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, WireError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = writer.try_clone()?;
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one request without waiting; returns its id.
+    /// `deadline_ms` 0 means "no client deadline" (the server may still
+    /// apply its configured default).
+    pub fn send(&mut self, query: &str, deadline_ms: u32) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_message(
+            &mut self.writer,
+            &Message::Request(Request {
+                id,
+                deadline_ms,
+                query: query.to_string(),
+            }),
+        )?;
+        Ok(id)
+    }
+
+    /// Receives the next response in arrival order. `Ok(None)` means
+    /// the server closed the connection cleanly (drain finished).
+    pub fn recv(&mut self) -> Result<Option<Response>, WireError> {
+        match read_message(&mut self.reader, self.max_frame)? {
+            None => Ok(None),
+            Some(Message::Response(resp)) => Ok(Some(resp)),
+            // A server sending *requests* is a protocol error.
+            Some(Message::Request(_)) => Err(WireError::Malformed("server sent a request frame")),
+        }
+    }
+
+    /// Closed-loop convenience: send one request, block for *its*
+    /// response. Assumes no other requests are outstanding on this
+    /// connection (stray earlier responses are skipped by id).
+    pub fn call(&mut self, query: &str, deadline_ms: u32) -> Result<Response, WireError> {
+        let id = self.send(query, deadline_ms)?;
+        loop {
+            match self.recv()? {
+                None => return Err(WireError::ConnectionClosed),
+                Some(resp) if resp.id == id => return Ok(resp),
+                Some(_) => {}
+            }
+        }
+    }
+}

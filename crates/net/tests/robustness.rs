@@ -1,0 +1,168 @@
+//! Wire-protocol robustness: hostile and broken peers must produce
+//! clean errors or connection closes — never a panic, never a stuck
+//! server, never an accounting hole. Each scenario attacks a live
+//! server on a loopback socket, then proves the server still serves a
+//! well-behaved client and drains balanced.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use apex::{Apex, IndexCell, RefreshPolicy, WorkloadMonitor};
+use apex_net::{Client, Engine, Server, ServerConfig, Status};
+use apex_storage::{DataTable, PageModel};
+use xmlgraph::builder::moviedb;
+
+fn start_server() -> Server {
+    let g = Arc::new(moviedb());
+    let table = Arc::new(DataTable::build(&g, PageModel::default()));
+    let cell = Arc::new(IndexCell::new(Apex::build_initial(&g)));
+    let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(
+        100,
+        0.3,
+        RefreshPolicy::Manual,
+    )));
+    let engine = Engine::new(g, table, cell, monitor);
+    Server::start(engine, ServerConfig::default(), "127.0.0.1:0").expect("bind")
+}
+
+/// The server must close a misbehaving connection; reads on our side
+/// then see EOF (or a reset, if the kernel turned unread bytes into an
+/// RST). Either way it must happen promptly.
+fn assert_closed(mut stream: TcpStream) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut buf = [0u8; 64];
+    loop {
+        match std::io::Read::read(&mut stream, &mut buf) {
+            Ok(0) => return,   // clean close
+            Ok(_) => continue, // drain any pending response bytes
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => return,
+            Err(e) => panic!("expected close, got {e}"),
+        }
+    }
+}
+
+/// After an attack, a fresh client must still be served correctly.
+fn assert_still_serving(addr: SocketAddr) {
+    let mut c = Client::connect(addr).expect("connect after attack");
+    let r = c.call("//actor/name", 0).expect("call after attack");
+    assert_eq!(r.status, Status::Ok);
+    assert!(r.total_rows > 0);
+}
+
+#[test]
+fn oversized_length_prefix_closes_the_connection() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    // 512 MiB advertised payload: far over the 1 MiB cap.
+    s.write_all(&(512u32 << 20).to_le_bytes()).expect("write");
+    s.write_all(&[0u8; 32]).expect("write");
+    assert_closed(s);
+    assert_still_serving(addr);
+    let stats = server.drain();
+    // The garbage never became a request; only the probe client counts.
+    assert_eq!(stats.accepted, 1);
+    assert!(stats.balanced(), "{stats}");
+}
+
+#[test]
+fn unknown_protocol_version_closes_the_connection() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    // A structurally plausible frame with version byte 9.
+    let payload = [9u8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+    s.write_all(&(payload.len() as u32).to_le_bytes())
+        .expect("write");
+    s.write_all(&payload).expect("write");
+    assert_closed(s);
+    assert_still_serving(addr);
+    let stats = server.drain();
+    assert_eq!(stats.accepted, 1);
+    assert!(stats.balanced(), "{stats}");
+}
+
+#[test]
+fn garbage_body_closes_the_connection() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    // Valid header, then a request body whose query length points past
+    // the end of the frame.
+    let mut payload = vec![1u8, 0]; // version 1, kind request
+    payload.extend_from_slice(&7u64.to_le_bytes()); // id
+    payload.extend_from_slice(&0u32.to_le_bytes()); // deadline
+    payload.extend_from_slice(&10_000u32.to_le_bytes()); // query len: lies
+    payload.extend_from_slice(b"//a");
+    s.write_all(&(payload.len() as u32).to_le_bytes())
+        .expect("write");
+    s.write_all(&payload).expect("write");
+    assert_closed(s);
+    assert_still_serving(addr);
+    let stats = server.drain();
+    assert_eq!(stats.accepted, 1);
+    assert!(stats.balanced(), "{stats}");
+}
+
+#[test]
+fn mid_request_disconnect_is_dropped_unaccepted() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        // Announce a 100-byte frame, send 10, vanish.
+        s.write_all(&100u32.to_le_bytes()).expect("write");
+        s.write_all(&[1u8; 10]).expect("write");
+        // Dropping the stream closes it mid-frame.
+    }
+    assert_still_serving(addr);
+    let stats = server.drain();
+    assert_eq!(stats.accepted, 1, "partial frame must not count");
+    assert!(stats.balanced(), "{stats}");
+}
+
+#[test]
+fn disconnect_before_reading_responses_never_wedges_the_server() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        for _ in 0..20 {
+            c.send("//actor/name", 0).expect("send");
+        }
+        // Vanish without reading a single response.
+    }
+    assert_still_serving(addr);
+    let stats = server.drain();
+    // Dispositions count even though delivery failed mid-way.
+    assert!(stats.balanced(), "{stats}");
+    assert!(stats.accepted >= 1);
+}
+
+#[test]
+fn interleaved_attacks_and_queries_balance() {
+    let mut server = start_server();
+    let addr = server.local_addr();
+    let mut good = Client::connect(addr).expect("connect");
+    for round in 0..5 {
+        let r = good.call("//movie/title", 0).expect("good call");
+        assert_eq!(r.status, Status::Ok, "round {round}");
+        // One attacker per round, alternating flavors.
+        let mut s = TcpStream::connect(addr).expect("attacker");
+        if round % 2 == 0 {
+            let _ = s.write_all(&u32::MAX.to_le_bytes());
+        } else {
+            let _ = s.write_all(&[0xAB; 7]); // torn header + partial body
+        }
+        drop(s);
+    }
+    drop(good);
+    let stats = server.drain();
+    assert_eq!(stats.accepted, 5);
+    assert_eq!(stats.served, 5);
+    assert!(stats.balanced(), "{stats}");
+}

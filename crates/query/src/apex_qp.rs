@@ -54,6 +54,10 @@ pub struct ApexProcessor<'a> {
     node_offsets: Vec<u64>,
     /// Kernel policy for every semijoin this processor runs.
     policy: KernelPolicy,
+    /// Absolute per-query deadline armed on every [`ExecContext`] this
+    /// processor creates (the network serving layer sets this; batch and
+    /// bench runs leave it unset).
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'a> ApexProcessor<'a> {
@@ -99,6 +103,7 @@ impl<'a> ApexProcessor<'a> {
             tag,
             node_offsets,
             policy: KernelPolicy::Adaptive,
+            deadline: None,
         }
     }
 
@@ -106,6 +111,14 @@ impl<'a> ApexProcessor<'a> {
     /// kernels; production uses the default adaptive policy).
     pub fn with_kernel_policy(mut self, policy: KernelPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Arms a per-query deadline: evaluation checkpoints at stage
+    /// boundaries and stops early once `deadline` passes, returning a
+    /// [`QueryOutput`] with `interrupted = true`.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -210,6 +223,11 @@ impl<'a> ApexProcessor<'a> {
         // first visit of a node charges its record's pages.
         let mut touched: Vec<bool> = vec![false; self.apex.graph().allocated()];
         while let Some(x) = queue.pop() {
+            // One fixpoint round is the non-preemptible unit; a tripped
+            // deadline surfaces the arrivals collected so far.
+            if !ctx.checkpoint() {
+                break;
+            }
             let Some(delta) = pending.remove(&x) else {
                 continue;
             };
@@ -259,6 +277,9 @@ impl QueryProcessor for ApexProcessor<'_> {
 
     fn eval(&self, q: &Query) -> QueryOutput {
         let mut ctx = ExecContext::with_policy(&self.buf, self.policy);
+        if let Some(d) = self.deadline {
+            ctx.set_deadline(d);
+        }
         let nodes = match q {
             Query::PartialPath { labels } => self.eval_path(labels, &mut ctx),
             Query::AncestorDescendant { first, last } => {
@@ -267,19 +288,22 @@ impl QueryProcessor for ApexProcessor<'_> {
             Query::ValuePath { labels, value } => {
                 let mut nodes = self.eval_path(labels, &mut ctx);
                 nodes.retain(|&n| {
-                    DataProbe {
-                        table: self.table,
-                        nid: n,
-                        value,
-                    }
-                    .run(&mut ctx)
+                    ctx.checkpoint()
+                        && DataProbe {
+                            table: self.table,
+                            nid: n,
+                            value,
+                        }
+                        .run(&mut ctx)
                 });
                 nodes
             }
         };
+        let interrupted = ctx.interrupted();
         QueryOutput {
             nodes,
             cost: ctx.finish(),
+            interrupted,
         }
     }
 

@@ -13,6 +13,7 @@ use xmlgraph::{LabelPath, NodeId, XmlGraph};
 
 use crate::apex_qp::ApexProcessor;
 use crate::ast::Query;
+use crate::stats::percentile;
 
 /// Result of one query: result nodes (sorted by document order, as the
 /// paper post-processes) plus the logical cost incurred.
@@ -22,6 +23,11 @@ pub struct QueryOutput {
     pub nodes: Vec<NodeId>,
     /// Logical cost counters for this query.
     pub cost: Cost,
+    /// True when execution stopped early at a deadline checkpoint (the
+    /// nodes collected so far are a correct partial answer; the serving
+    /// layer reports such queries as `DeadlineExceeded`, never as
+    /// complete results).
+    pub interrupted: bool,
 }
 
 /// A query processor over one index structure.
@@ -66,7 +72,7 @@ impl BatchStats {
             self.empty_results,
             self.cost.pages_read,
             self.cost.total(),
-            self.wall.as_secs_f64() * 1e3,
+            crate::stats::millis(self.wall),
         );
         if let Some(b) = &self.buf {
             s.push_str(&format!(" | {b}"));
@@ -195,7 +201,7 @@ impl AdaptiveStats {
                     r.generation,
                     r.queries,
                     r.result_nodes,
-                    r.wall.as_secs_f64() * 1e3
+                    crate::stats::millis(r.wall)
                 )
             })
             .collect()
@@ -208,8 +214,8 @@ impl AdaptiveStats {
             self.batch.summary(),
             self.swaps_observed,
             self.per_generation.len(),
-            self.p50.as_secs_f64() * 1e3,
-            self.p99.as_secs_f64() * 1e3,
+            crate::stats::millis(self.p50),
+            crate::stats::millis(self.p99),
         )
     }
 }
@@ -218,22 +224,13 @@ impl AdaptiveStats {
 /// path-shaped query the monitor's support counting understands
 /// (ancestor-descendant queries are not label paths and are served
 /// without being recorded).
-fn recordable_path(q: &Query) -> Option<LabelPath> {
+pub fn recordable_path(q: &Query) -> Option<LabelPath> {
     match q {
         Query::PartialPath { labels } | Query::ValuePath { labels, .. } => {
             Some(LabelPath::new(labels.clone()))
         }
         Query::AncestorDescendant { .. } => None,
     }
-}
-
-/// Nearest-rank percentile of an ascending latency list.
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// The mixed read/record/adapt driver: serves `queries` through the
@@ -470,13 +467,18 @@ mod tests {
         let g2 = cell.generation();
         assert!(g2 >= 2, "phase 2 must publish again (gen {g2})");
 
-        // Phase 3 serves entirely on the newest generation.
+        // Phase 3 starts on the newest generation published so far.
+        // Its own 10 recorded queries re-arm the EveryN(10) policy, so
+        // a further swap may land while (or right after) the batch
+        // runs — compare against the generation at entry, not the live
+        // cell, which can already be ahead.
+        let gen3 = cell.generation();
         let qs3 = queries_n(&g, 10);
         let s3 = run_adaptive(&g, &table, &cell, &monitor, &refresher, &qs3, &buf);
-        assert_eq!(
-            s3.per_generation.last().unwrap().generation,
-            cell.generation()
-        );
+        assert_eq!(s3.per_generation.first().unwrap().generation, gen3);
+        for r in &s3.per_generation {
+            assert!(r.generation >= gen3, "served on a stale generation");
+        }
 
         // Every query is accounted to exactly one generation row.
         for s in [&s1, &s2, &s3] {

@@ -50,6 +50,13 @@ pub struct ExecContext<'a> {
     buf: &'a BufferHandle,
     policy: KernelPolicy,
     scratch: ExecScratch,
+    /// Absolute deadline for this query, if any: composite operators
+    /// poll [`ExecContext::checkpoint`] at stage boundaries and stop
+    /// early once it passes (cooperative cancellation — the unit of
+    /// non-preemptible work is one operator stage, never a whole query).
+    deadline: Option<std::time::Instant>,
+    /// Sticky flag: a checkpoint observed the deadline in the past.
+    interrupted: bool,
     /// The counters this query has accumulated so far.
     pub cost: Cost,
 }
@@ -68,8 +75,42 @@ impl<'a> ExecContext<'a> {
             buf,
             policy,
             scratch: ExecScratch::default(),
+            deadline: None,
+            interrupted: false,
             cost: Cost::new(),
         }
+    }
+
+    /// Arms a deadline: once `deadline` passes, [`checkpoint`] calls
+    /// return `false` and operators unwind with whatever partial result
+    /// they hold. [`interrupted`] reports whether that happened.
+    ///
+    /// [`checkpoint`]: ExecContext::checkpoint
+    /// [`interrupted`]: ExecContext::interrupted
+    pub fn set_deadline(&mut self, deadline: std::time::Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// True once a checkpoint has tripped the armed deadline.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// Deadline checkpoint: `true` means keep going. Called by composite
+    /// operators between stages (join steps, fixpoint rounds, probe
+    /// loops) — cheap enough for per-stage use, and deliberately not per
+    /// pair, so kernels stay branch-free.
+    pub fn checkpoint(&mut self) -> bool {
+        if self.interrupted {
+            return false;
+        }
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() >= d {
+                self.interrupted = true;
+                return false;
+            }
+        }
+        true
     }
 
     /// The kernel policy governing this context's semijoins.
@@ -350,7 +391,7 @@ impl MultiwayJoin<'_> {
         // semijoins inside the loop need `ctx` whole).
         let mut scratch = std::mem::take(&mut ctx.scratch.union);
         for stage in self.stages {
-            if cur.is_empty() {
+            if cur.is_empty() || !ctx.checkpoint() {
                 break;
             }
             let mut next = EdgeSet::new();

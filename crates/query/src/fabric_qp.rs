@@ -58,6 +58,7 @@ impl QueryProcessor for FabricProcessor<'_> {
         QueryOutput {
             nodes,
             cost: ctx.finish(),
+            interrupted: false,
         }
     }
 

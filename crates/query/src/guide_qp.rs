@@ -314,6 +314,7 @@ impl<I: RootedIndex> QueryProcessor for GuideProcessor<'_, I> {
         QueryOutput {
             nodes,
             cost: ctx.finish(),
+            interrupted: false,
         }
     }
 

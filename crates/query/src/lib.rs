@@ -23,7 +23,9 @@
 //!   through, charging a cross-query buffer pool and attributing cost
 //!   per operator;
 //! * [`batch`] — batch runner collecting wall time + logical costs per
-//!   query set (the unit Figures 13–15 report).
+//!   query set (the unit Figures 13–15 report);
+//! * [`stats`] — the shared nearest-rank percentile / unit-conversion
+//!   helpers every latency reporter (batch, bench, net) uses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +39,7 @@ pub mod fabric_qp;
 pub mod generator;
 pub mod guide_qp;
 pub mod naive;
+pub mod stats;
 
 pub use ast::Query;
 pub use batch::{

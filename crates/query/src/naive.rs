@@ -171,6 +171,7 @@ impl QueryProcessor for NaiveProcessor<'_> {
         QueryOutput {
             nodes,
             cost: ctx.finish(),
+            interrupted: false,
         }
     }
 
