@@ -62,6 +62,19 @@ kernel_smoke() {
     rm -rf "$out"
 }
 
+# The planner benchmark doubles as the cost-based-planning smoke test:
+# it runs the same generated + stress-chain query mix under the planned
+# and both fixed join orders on the three small families and *asserts*
+# the planner's guarantee (planned ≤ 1.1x the best fixed order on every
+# family, strictly cheaper on at least one). Runs in a temp dir so its
+# BENCH_planner.json never lands in the tree.
+plan_smoke() {
+    local out
+    out=$(mktemp -d)
+    (cd "$out" && "$OLDPWD/target/release/planner")
+    rm -rf "$out"
+}
+
 # The network load generator is the serving smoke test: it drives a
 # real apex-net socket server closed- and open-loop while the refresher
 # swaps index generations underneath, then drains and *asserts* the
@@ -77,6 +90,7 @@ net_smoke() {
 run cargo build --release --offline --workspace
 run cargo test --offline --workspace --quiet
 run kernel_smoke
+run plan_smoke
 run net_smoke
 run stress
 run cargo clippy --offline --workspace --all-targets -- "${CLIPPY_EXTRA[@]}" -D warnings

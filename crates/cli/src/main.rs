@@ -209,10 +209,19 @@ fn main() {
                 Err(e) => println!("cannot open {path}: {e}"),
             },
             Ok(Command::Explain(text)) => match Query::parse(&g, &text) {
-                Ok(q) => print!(
-                    "{}",
-                    explain_apex(&index, &q).render_with_buffer(&g, &q, &buf.stats())
-                ),
+                Ok(q) => {
+                    print!(
+                        "{}",
+                        explain_apex(&index, &q).render_with_buffer(&g, &q, &buf.stats())
+                    );
+                    // Execute through the planner to close the loop:
+                    // predicted vs actual per-operator cost plus the
+                    // mispredict ratio.
+                    let qp = ApexProcessor::with_buffer(&g, &index, &table, buf.clone());
+                    if let Some(rep) = qp.eval(&q).plan {
+                        print!("{}", rep.render());
+                    }
+                }
                 Err(e) => println!("parse error: {e}"),
             },
             Ok(Command::Serve(n)) => {

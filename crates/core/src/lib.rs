@@ -61,6 +61,7 @@ pub mod hashtree;
 pub mod index;
 pub mod monitor;
 pub mod persist;
+pub mod planstats;
 pub mod serve;
 pub mod update;
 pub mod validate;
@@ -69,7 +70,8 @@ pub mod workload;
 pub use graph::{GApex, XNodeId};
 pub use hashtree::{EntryRef, HNodeId, HashTree};
 pub use index::{Apex, ExtentRef, IndexStats, Lookup, SegmentNodes};
-pub use monitor::{RefreshPolicy, WorkloadMonitor};
+pub use monitor::{PlanFeedback, RefreshPolicy, WorkloadMonitor};
+pub use planstats::{ExtentStat, PlanStats};
 pub use serve::{IndexCell, RefreshRecord, Refresher, ServeStats, Snapshot};
 pub use update::{extent_equivalent, update_apex};
 pub use workload::Workload;

@@ -11,10 +11,75 @@
 
 use std::collections::VecDeque;
 
+use apex_storage::OpKind;
 use xmlgraph::{LabelPath, XmlGraph};
 
 use crate::index::Apex;
 use crate::workload::Workload;
+
+/// Aggregated predicted-vs-actual operator cost, fed back by every
+/// executed plan (the feedback half of the cost-based planner): per
+/// [`OpKind`], the work units the planner forecast and the work the
+/// execution layer actually attributed. The mispredict ratio over this
+/// aggregate is what `explain` and the serving tier report, and what a
+/// future planner calibration would consume.
+#[derive(Debug, Clone, Default)]
+pub struct PlanFeedback {
+    plans: u64,
+    predicted: [u64; OpKind::ALL.len()],
+    actual: [u64; OpKind::ALL.len()],
+}
+
+impl PlanFeedback {
+    fn slot(kind: OpKind) -> usize {
+        kind.idx()
+    }
+
+    /// Records one executed plan's per-operator `(kind, predicted,
+    /// actual)` forecast outcomes.
+    pub fn record(&mut self, ops: impl IntoIterator<Item = (OpKind, u64, u64)>) {
+        self.plans += 1;
+        for (kind, predicted, actual) in ops {
+            let i = Self::slot(kind);
+            self.predicted[i] += predicted;
+            self.actual[i] += actual;
+        }
+    }
+
+    /// Plans recorded.
+    pub fn plans(&self) -> u64 {
+        self.plans
+    }
+
+    /// `(predicted, actual)` accumulated for one operator kind.
+    pub fn per_op(&self, kind: OpKind) -> (u64, u64) {
+        let i = Self::slot(kind);
+        (self.predicted[i], self.actual[i])
+    }
+
+    /// Total predicted work units across operators.
+    pub fn predicted_total(&self) -> u64 {
+        self.predicted.iter().sum()
+    }
+
+    /// Total actual work units across operators.
+    pub fn actual_total(&self) -> u64 {
+        self.actual.iter().sum()
+    }
+
+    /// Σ|predicted − actual| / max(1, Σactual): 0.0 means every forecast
+    /// was exact; 1.0 means the planner was off by as much work as was
+    /// actually done.
+    pub fn mispredict_ratio(&self) -> f64 {
+        let err: u64 = self
+            .predicted
+            .iter()
+            .zip(&self.actual)
+            .map(|(&p, &a)| p.abs_diff(a))
+            .sum();
+        err as f64 / self.actual_total().max(1) as f64
+    }
+}
 
 /// When to re-run extraction + update.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +107,7 @@ pub struct WorkloadMonitor {
     policy: RefreshPolicy,
     since_refresh: usize,
     total_recorded: usize,
+    feedback: PlanFeedback,
 }
 
 impl WorkloadMonitor {
@@ -55,7 +121,19 @@ impl WorkloadMonitor {
             policy,
             since_refresh: 0,
             total_recorded: 0,
+            feedback: PlanFeedback::default(),
         }
+    }
+
+    /// Records an executed plan's per-operator `(kind, predicted,
+    /// actual)` outcomes — the planner feedback loop.
+    pub fn record_plan(&mut self, ops: impl IntoIterator<Item = (OpKind, u64, u64)>) {
+        self.feedback.record(ops);
+    }
+
+    /// Accumulated planner feedback.
+    pub fn plan_feedback(&self) -> &PlanFeedback {
+        &self.feedback
     }
 
     /// Records one query.
@@ -248,6 +326,31 @@ mod tests {
         );
         m.refresh(&g, &mut idx);
         assert!(!idx.required_paths(&g).contains(&"actor.name".to_string()));
+    }
+
+    #[test]
+    fn plan_feedback_accumulates_and_ratios() {
+        let mut m = WorkloadMonitor::new(10, 0.4, RefreshPolicy::Manual);
+        assert_eq!(m.plan_feedback().plans(), 0);
+        assert_eq!(m.plan_feedback().mispredict_ratio(), 0.0);
+        m.record_plan([
+            (OpKind::SemijoinMerge, 100, 80),
+            (OpKind::ExtentScan, 10, 10),
+        ]);
+        m.record_plan([(OpKind::SemijoinMerge, 50, 70)]);
+        let fb = m.plan_feedback();
+        assert_eq!(fb.plans(), 2);
+        assert_eq!(fb.per_op(OpKind::SemijoinMerge), (150, 150));
+        assert_eq!(fb.per_op(OpKind::ExtentScan), (10, 10));
+        assert_eq!(fb.per_op(OpKind::TrieSearch), (0, 0));
+        assert_eq!(fb.predicted_total(), 160);
+        assert_eq!(fb.actual_total(), 160);
+        // |100+50-80-70| vanishes in aggregate only if summed per-op
+        // first; the per-op error here is |150-150| + |10-10| = 0.
+        assert_eq!(fb.mispredict_ratio(), 0.0);
+        m.record_plan([(OpKind::DataProbe, 40, 10)]);
+        let fb = m.plan_feedback();
+        assert!((fb.mispredict_ratio() - 30.0 / 170.0).abs() < 1e-9);
     }
 
     #[test]

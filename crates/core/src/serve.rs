@@ -45,12 +45,15 @@ use xmlgraph::XmlGraph;
 
 use crate::index::Apex;
 use crate::monitor::WorkloadMonitor;
+use crate::planstats::PlanStats;
+use crate::workload::Workload;
 
 /// One published index version: the immutable unit query workers hold.
 #[derive(Debug)]
 pub struct Snapshot {
     generation: u64,
     index: Apex,
+    stats: PlanStats,
 }
 
 impl Snapshot {
@@ -65,6 +68,15 @@ impl Snapshot {
     #[inline]
     pub fn index(&self) -> &Apex {
         &self.index
+    }
+
+    /// Planning statistics assembled when this version was published —
+    /// same generation stamp, same lifetime, so a planner reading them
+    /// never mixes statistics of one generation with the extents of
+    /// another.
+    #[inline]
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
     }
 }
 
@@ -86,10 +98,12 @@ pub struct IndexCell {
 impl IndexCell {
     /// Installs `index` as generation 0.
     pub fn new(index: Apex) -> IndexCell {
+        let stats = PlanStats::assemble(&index);
         IndexCell {
             current: Mutex::new(Arc::new(Snapshot {
                 generation: 0,
                 index,
+                stats,
             })),
             generation: AtomicU64::new(0),
         }
@@ -121,11 +135,30 @@ impl IndexCell {
     }
 
     /// Atomically publishes `index` as the next generation; returns the
-    /// generation it received.
+    /// generation it received. Planning statistics are assembled from
+    /// the new index (outside the swap lock) and published with it.
     pub fn publish(&self, index: Apex) -> u64 {
+        let stats = PlanStats::assemble(&index);
+        self.publish_with(index, stats)
+    }
+
+    /// Like [`IndexCell::publish`], but folds the drained workload
+    /// window's path supports into the statistics — the refresher's
+    /// publish path, so the planner sees the same frequencies that drove
+    /// the refinement it plans against.
+    pub fn publish_with_workload(&self, index: Apex, wl: &Workload) -> u64 {
+        let stats = PlanStats::assemble(&index).with_workload(wl);
+        self.publish_with(index, stats)
+    }
+
+    fn publish_with(&self, index: Apex, stats: PlanStats) -> u64 {
         let mut cur = self.lock();
         let generation = cur.generation + 1;
-        *cur = Arc::new(Snapshot { generation, index });
+        *cur = Arc::new(Snapshot {
+            generation,
+            index,
+            stats: stats.with_generation(generation),
+        });
         self.generation.store(generation, Ordering::Release);
         generation
     }
@@ -347,7 +380,7 @@ fn refresh_loop(
             let snapshot = cell.snapshot();
             let mut index = snapshot.index().clone();
             let steps = index.refine(g, &workload, min_sup);
-            let generation = cell.publish(index);
+            let generation = cell.publish_with_workload(index, &workload);
             Some(RefreshRecord {
                 generation,
                 steps,
@@ -593,6 +626,47 @@ mod tests {
             assert_eq!(stats.refreshes, 1);
             assert_eq!(monitor.lock().unwrap().since_refresh(), 0);
         }
+    }
+
+    #[test]
+    fn snapshot_stats_track_the_published_generation() {
+        let g = moviedb();
+        let cell = IndexCell::new(Apex::build_initial(&g));
+        let s0 = cell.snapshot();
+        assert_eq!(s0.stats().generation(), 0);
+        assert_eq!(
+            s0.stats().len(),
+            s0.index().graph().reachable(s0.index().xroot()).len()
+        );
+        let mut refined = s0.index().clone();
+        let wl = Workload::parse(&g, &["actor.name"]).unwrap();
+        refined.refine(&g, &wl, 0.1);
+        cell.publish_with_workload(refined, &wl);
+        let s1 = cell.snapshot();
+        assert_eq!(s1.stats().generation(), 1);
+        assert_eq!(
+            s1.stats().len(),
+            s1.index().graph().reachable(s1.index().xroot()).len()
+        );
+        assert!(s1.stats().len() > s0.stats().len());
+        let an = LabelPath::parse(&g, "actor.name").unwrap();
+        assert!((s1.stats().path_support(&an) - 1.0).abs() < 1e-9);
+        // The refresher path publishes workload-bearing stats too.
+        let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(
+            100,
+            0.1,
+            crate::monitor::RefreshPolicy::Manual,
+        )));
+        monitor.lock().unwrap().record(an.clone());
+        let cell = Arc::new(cell);
+        let refresher =
+            Refresher::spawn(Arc::new(moviedb()), Arc::clone(&cell), monitor).expect("spawn");
+        refresher.request_refresh();
+        refresher.wait_idle();
+        let s2 = cell.snapshot();
+        assert_eq!(s2.stats().generation(), s2.generation());
+        assert_eq!(s2.stats().workload_paths(), 1);
+        drop(refresher);
     }
 
     #[test]

@@ -40,7 +40,7 @@ fn assert_clean(rel_path: &str, src: &str) {
 
 #[test]
 fn cost_io_writes_fires_outside_storage_and_exec() {
-    let findings = lint_str("crates/query/src/plan.rs", COST_IO_BAD);
+    let findings = lint_str("crates/query/src/apex_qp.rs", COST_IO_BAD);
     assert_eq!(
         hits(&findings),
         [
@@ -56,11 +56,14 @@ fn cost_io_writes_fires_outside_storage_and_exec() {
 fn cost_io_writes_allows_storage_and_the_executor() {
     assert_clean("crates/storage/src/cost.rs", COST_IO_BAD);
     assert_clean("crates/query/src/exec.rs", COST_IO_BAD);
+    // The cost-based planner charges I/O through attributed closures
+    // (reverse semijoins fault blocks), so it is an allowed writer too.
+    assert_clean("crates/query/src/plan.rs", COST_IO_BAD);
 }
 
 #[test]
 fn cost_io_reads_and_compute_counters_are_clean() {
-    assert_clean("crates/query/src/plan.rs", COST_IO_CLEAN);
+    assert_clean("crates/query/src/apex_qp.rs", COST_IO_CLEAN);
 }
 
 // --- rule 2: no-panic -------------------------------------------------------
@@ -178,12 +181,12 @@ fn pool_discipline_ignores_handle_use() {
 #[test]
 fn justified_suppressions_silence_findings() {
     // Trailing same-line and standalone line-above forms both work.
-    assert_clean("crates/query/src/plan.rs", SUPPRESSED);
+    assert_clean("crates/query/src/apex_qp.rs", SUPPRESSED);
 }
 
 #[test]
 fn suppression_hygiene_is_itself_linted() {
-    let findings = lint_str("crates/query/src/plan.rs", SUPPRESSION_PROBLEMS);
+    let findings = lint_str("crates/query/src/apex_qp.rs", SUPPRESSION_PROBLEMS);
     assert_eq!(
         hits(&findings),
         [
@@ -206,7 +209,7 @@ fn suppression_hygiene_is_itself_linted() {
 
 #[test]
 fn tally_counts_errors_and_warnings() {
-    let findings = lint_str("crates/query/src/plan.rs", SUPPRESSION_PROBLEMS);
+    let findings = lint_str("crates/query/src/apex_qp.rs", SUPPRESSION_PROBLEMS);
     assert_eq!(tally(&findings), (2, 1));
 }
 

@@ -39,6 +39,9 @@ pub struct ExecOutcome {
     pub pages_read: u64,
     /// Join work charged to this query (logical cost model).
     pub join_work: u64,
+    /// Digest of the cost-based plan that served the query (0 when no
+    /// planner ran — parse errors, unplanned query shapes).
+    pub plan_digest: u64,
 }
 
 /// Shared query-serving state behind the TCP server.
@@ -112,6 +115,7 @@ impl Engine {
                     rows: Vec::new(),
                     pages_read: 0,
                     join_work: 0,
+                    plan_digest: 0,
                 }
             }
         };
@@ -121,7 +125,8 @@ impl Engine {
             &self.table,
             self.buf.clone(),
             generation,
-        );
+        )
+        .with_plan_stats(snap.stats());
         if let Some(d) = deadline {
             p = p.with_deadline(d);
         }
@@ -129,12 +134,21 @@ impl Engine {
 
         // Record the query and nudge the refresher exactly like the
         // batch layer's adaptive driver: monitoring is part of serving,
-        // so remote workloads steer the index too.
-        if let Some(path) = recordable_path(&q) {
+        // so remote workloads steer the index too. Plan feedback
+        // (predicted vs actual per operator) rides the same lock.
+        let path = recordable_path(&q);
+        if path.is_some() || out.plan.is_some() {
             let due = {
                 let mut m = self.monitor.lock().unwrap_or_else(|p| p.into_inner());
-                m.record(path);
-                m.refresh_due(&self.g, snap.index())
+                if let Some(rep) = &out.plan {
+                    m.record_plan(rep.feedback());
+                }
+                if let Some(path) = path {
+                    m.record(path);
+                    m.refresh_due(&self.g, snap.index())
+                } else {
+                    false
+                }
             };
             if due {
                 if let Some(r) = &self.refresher {
@@ -155,6 +169,7 @@ impl Engine {
             rows: out.nodes.iter().take(MAX_ROW_SAMPLE).map(|n| n.0).collect(),
             pages_read: out.cost.pages_read,
             join_work: out.cost.join_work,
+            plan_digest: out.plan.as_ref().map_or(0, |r| r.digest),
         }
     }
 }
@@ -187,6 +202,19 @@ mod tests {
         assert_eq!(out.rows.len() as u32, out.total_rows.min(64));
         assert!(out.pages_read > 0, "extent scans must charge pages");
         assert_eq!(out.generation, 0);
+        assert_ne!(out.plan_digest, 0, "path queries carry a plan digest");
+    }
+
+    #[test]
+    fn plan_feedback_reaches_the_monitor() {
+        let e = engine();
+        e.execute("//director/movie/title", None);
+        let m = e.monitor.lock().expect("monitor");
+        let fb = m.plan_feedback();
+        assert!(
+            fb.plans() > 0 && fb.actual_total() > 0,
+            "executed plans must report predicted-vs-actual cost"
+        );
     }
 
     #[test]

@@ -574,6 +574,7 @@ fn shed(req: &Request, status: Status, shared: &Shared) -> Response {
         pages_read: 0,
         join_work: 0,
         server_us: 0,
+        plan_digest: 0,
     }
 }
 
@@ -594,6 +595,7 @@ fn worker_loop(shared: &Shared) {
                     pages_read: 0,
                     join_work: 0,
                     server_us: 0,
+                    plan_digest: 0,
                 },
             );
             continue;
@@ -611,6 +613,7 @@ fn worker_loop(shared: &Shared) {
                 pages_read: out.pages_read,
                 join_work: out.join_work,
                 server_us,
+                plan_digest: out.plan_digest,
             },
         );
     }

@@ -32,6 +32,7 @@
 //! | 8 | pages read (cost summary) |
 //! | 8 | join work (cost summary) |
 //! | 8 | server-side service time in µs |
+//! | 8 | plan digest (0 = no cost-based plan ran) |
 //!
 //! Decoding is total: every malformed input maps to a [`WireError`]
 //! (truncated frame, oversized length prefix, unknown version or kind,
@@ -150,6 +151,11 @@ pub struct Response {
     pub join_work: u64,
     /// Server-side service time in microseconds (queue wait excluded).
     pub server_us: u64,
+    /// Digest of the cost-based plan that served the query (0 when no
+    /// planner ran — sheds, parse errors). Load generators correlate
+    /// this with tail latency to attribute slow requests to planning
+    /// choices across generations.
+    pub plan_digest: u64,
 }
 
 /// Either message kind, as decoded off a frame.
@@ -309,6 +315,7 @@ impl Response {
         out.extend_from_slice(&self.pages_read.to_le_bytes());
         out.extend_from_slice(&self.join_work.to_le_bytes());
         out.extend_from_slice(&self.server_us.to_le_bytes());
+        out.extend_from_slice(&self.plan_digest.to_le_bytes());
         Ok(())
     }
 
@@ -334,6 +341,7 @@ impl Response {
             pages_read: cur.u64("pages_read")?,
             join_work: cur.u64("join_work")?,
             server_us: cur.u64("server_us")?,
+            plan_digest: cur.u64("plan_digest")?,
         })
     }
 }
@@ -466,6 +474,7 @@ mod tests {
             pages_read: 123,
             join_work: 456,
             server_us: 789,
+            plan_digest: 0xfeed_beef,
         });
         assert_eq!(roundtrip(&m), m);
     }
@@ -486,6 +495,7 @@ mod tests {
             pages_read: 0,
             join_work: 0,
             server_us: 0,
+            plan_digest: 0,
         });
         let mut wire = Vec::new();
         write_message(&mut wire, &a).expect("write a");
@@ -612,6 +622,7 @@ mod tests {
             pages_read: 5,
             join_work: 6,
             server_us: 7,
+            plan_digest: 8,
         });
         let payload = m.encode().expect("encode");
         for i in 0..payload.len() {
@@ -656,12 +667,13 @@ mod tests {
             pages_read in 0u64..=u64::MAX,
             join_work in 0u64..=u64::MAX,
             server_us in 0u64..=u64::MAX,
+            plan_digest in 0u64..=u64::MAX,
         ) {
             let status = Status::from_code(code).expect("valid code range");
             let total_rows = rows.len() as u32 + extra_rows;
             let m = Message::Response(Response {
                 id, status, generation, total_rows,
-                rows: rows.clone(), pages_read, join_work, server_us,
+                rows: rows.clone(), pages_read, join_work, server_us, plan_digest,
             });
             let payload = m.encode().expect("encode");
             prop_assert_eq!(Message::decode(&payload).expect("decode"), m);

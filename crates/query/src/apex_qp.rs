@@ -20,14 +20,15 @@
 
 use std::collections::HashMap;
 
-use apex::{Apex, XNodeId};
+use apex::{Apex, PlanStats, XNodeId};
 use apex_storage::bufmgr::{BufferHandle, Space};
 use apex_storage::{DataTable, EdgeSet, KernelPolicy};
 use xmlgraph::{LabelId, NodeId, XmlGraph};
 
 use crate::ast::Query;
 use crate::batch::{QueryOutput, QueryProcessor};
-use crate::exec::{self, DataProbe, ExecContext, ExtentScan, IndexNav, MultiwayJoin};
+use crate::exec::{self, DataProbe, ExecContext, ExtentScan, IndexNav};
+use crate::plan::{self, JoinOrderPolicy, PlanReport, Planner};
 
 /// Byte stride separating the page-packed node layouts of successive
 /// index generations inside [`Space::ApexNode`] (1 TiB per generation —
@@ -58,6 +59,13 @@ pub struct ApexProcessor<'a> {
     /// processor creates (the network serving layer sets this; batch and
     /// bench runs leave it unset).
     deadline: Option<std::time::Instant>,
+    /// Statistics snapshot the planner reads (adaptive serving passes
+    /// the published snapshot's stats; `None` falls back to the live
+    /// extents' cheap accessors — same numbers, read at plan time).
+    stats: Option<&'a PlanStats>,
+    /// Join-order selection: cost-based by default; benches force the
+    /// fixed orders through this.
+    order: JoinOrderPolicy,
 }
 
 impl<'a> ApexProcessor<'a> {
@@ -104,6 +112,8 @@ impl<'a> ApexProcessor<'a> {
             node_offsets,
             policy: KernelPolicy::Adaptive,
             deadline: None,
+            stats: None,
+            order: JoinOrderPolicy::Planned,
         }
     }
 
@@ -122,59 +132,58 @@ impl<'a> ApexProcessor<'a> {
         self
     }
 
+    /// Plans against `stats` (a published snapshot's statistics)
+    /// instead of the live extent accessors.
+    pub fn with_plan_stats(mut self, stats: &'a PlanStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Forces a join-order policy (benches compare the planner against
+    /// the fixed orders; production uses the default cost-based choice).
+    pub fn with_join_order(mut self, order: JoinOrderPolicy) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// The cost-based planner for this processor's index view.
+    fn planner(&self) -> Planner<'a> {
+        Planner::new(self.apex, self.stats, self.policy, self.tag)
+    }
+
     /// `(buffer id, extent)` source for class node `x`.
     fn source(&self, x: XNodeId) -> (u64, &'a EdgeSet) {
         let r = self.apex.extent_ref(x);
         ((self.tag << 32) | r.id, r.set)
     }
 
-    /// QTYPE1 evaluation returning the final edge set.
+    /// QTYPE1 evaluation returning the final edge set and the plan
+    /// report.
     ///
-    /// The exact prefix's extent union seeds the join; every later
-    /// segment is accessed through indexed probes (extents are clustered
-    /// by parent nid), so join cost scales with the data that actually
-    /// flows, not with extent sizes.
-    fn eval_path_edges(&self, labels: &[LabelId], ctx: &mut ExecContext<'_>) -> EdgeSet {
-        let n = labels.len();
-        // Collect the class-node lists for prefixes n, n-1, … until an
-        // exact one (§6.1's decreasing-j lookup loop).
-        let mut segments: Vec<Vec<XNodeId>> = Vec::new();
-        let mut exact_found = false;
-        for j in (1..=n).rev() {
-            let seg = self.apex.segment_nodes(&labels[..j]);
-            ctx.note_hash_lookups(seg.hash_lookups);
-            segments.push(seg.xnodes);
-            if seg.exact {
-                exact_found = true;
-                break;
-            }
-        }
-        if !exact_found {
-            // The shortest prefix (single label) is always exact when the
-            // label exists; reaching here means the label is unknown.
-            return EdgeSet::new();
-        }
-        // segments = [S_n, S_{n-1}, …, S_{j*}]; the exact union seeds a
-        // multi-way join that probes forward through the later segments.
-        let mut iter = segments.into_iter().rev();
-        let Some(seed_classes) = iter.next() else {
-            return EdgeSet::new(); // unreachable: exact_found implies a segment
-        };
-        MultiwayJoin {
-            seed: seed_classes.iter().map(|&x| self.source(x)).collect(),
-            stages: iter
-                .map(|classes| classes.iter().map(|&x| self.source(x)).collect())
-                .collect(),
-            space: Space::ApexExtent,
-        }
-        .run(ctx)
+    /// The §6.1 decreasing-j segmentation runs inside the planner, which
+    /// then chooses the join order (forward, or a backward reduction of
+    /// the last stages) and the kernels from the statistics snapshot; a
+    /// forward plan executes bit-for-bit the legacy seed-union +
+    /// [`crate::exec::MultiwayJoin`] pipeline.
+    fn eval_path_edges(
+        &self,
+        labels: &[LabelId],
+        ctx: &mut ExecContext<'_>,
+    ) -> (EdgeSet, PlanReport) {
+        let planner = self.planner();
+        let plan = planner.plan_path(labels, self.order);
+        planner.execute_path(&plan, ctx)
     }
 
-    fn eval_path(&self, labels: &[LabelId], ctx: &mut ExecContext<'_>) -> Vec<NodeId> {
-        let edges = self.eval_path_edges(labels, ctx);
+    fn eval_path(
+        &self,
+        labels: &[LabelId],
+        ctx: &mut ExecContext<'_>,
+    ) -> (Vec<NodeId>, PlanReport) {
+        let (edges, report) = self.eval_path_edges(labels, ctx);
         let mut nodes = edges.end_nodes().to_vec();
         self.g.sort_doc_order(&mut nodes);
-        nodes
+        (nodes, report)
     }
 
     /// Charges the first visit of class node `x`'s page-packed record.
@@ -280,13 +289,18 @@ impl QueryProcessor for ApexProcessor<'_> {
         if let Some(d) = self.deadline {
             ctx.set_deadline(d);
         }
-        let nodes = match q {
+        let (nodes, report) = match q {
             Query::PartialPath { labels } => self.eval_path(labels, &mut ctx),
             Query::AncestorDescendant { first, last } => {
-                self.eval_anc_desc(*first, *last, &mut ctx)
+                let before = ctx.cost.ops;
+                let nodes = self.eval_anc_desc(*first, *last, &mut ctx);
+                let (digest, predicted) = self.planner().forecast_anc_desc(*first);
+                let report =
+                    plan::build_report(digest, "dataflow", &predicted, &before, &ctx.cost.ops);
+                (nodes, report)
             }
             Query::ValuePath { labels, value } => {
-                let mut nodes = self.eval_path(labels, &mut ctx);
+                let (mut nodes, report) = self.eval_path(labels, &mut ctx);
                 nodes.retain(|&n| {
                     ctx.checkpoint()
                         && DataProbe {
@@ -296,7 +310,7 @@ impl QueryProcessor for ApexProcessor<'_> {
                         }
                         .run(&mut ctx)
                 });
-                nodes
+                (nodes, report)
             }
         };
         let interrupted = ctx.interrupted();
@@ -304,6 +318,7 @@ impl QueryProcessor for ApexProcessor<'_> {
             nodes,
             cost: ctx.finish(),
             interrupted,
+            plan: Some(report),
         }
     }
 

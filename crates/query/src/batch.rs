@@ -28,6 +28,9 @@ pub struct QueryOutput {
     /// layer reports such queries as `DeadlineExceeded`, never as
     /// complete results).
     pub interrupted: bool,
+    /// Predicted-vs-actual plan report, when the query ran through the
+    /// cost-based planner (`None` for the naive oracle).
+    pub plan: Option<crate::plan::PlanReport>,
 }
 
 /// A query processor over one index structure.
@@ -263,7 +266,11 @@ pub fn run_adaptive(
     while i < queries.len() {
         let snap = cell.snapshot();
         let generation = snap.generation();
-        let p = ApexProcessor::with_buffer_tagged(g, snap.index(), table, buf.clone(), generation);
+        // The processor plans against the snapshot's published
+        // statistics — the planner never touches the live index at plan
+        // time while the refresher swaps generations underneath.
+        let p = ApexProcessor::with_buffer_tagged(g, snap.index(), table, buf.clone(), generation)
+            .with_plan_stats(snap.stats());
         let mut row = GenerationRow {
             generation,
             ..GenerationRow::default()
@@ -282,11 +289,21 @@ pub fn run_adaptive(
                 batch.empty_results += 1;
             }
             batch.cost += out.cost;
-            if let Some(path) = recordable_path(q) {
+            let path = recordable_path(q);
+            if path.is_some() || out.plan.is_some() {
                 let due = {
                     let mut m = monitor.lock().unwrap_or_else(|p| p.into_inner());
-                    m.record(path);
-                    m.refresh_due(g, snap.index())
+                    // Close the loop: predicted vs actual per-operator
+                    // cost of this query's plan feeds the monitor.
+                    if let Some(rep) = &out.plan {
+                        m.record_plan(rep.feedback());
+                    }
+                    if let Some(path) = path {
+                        m.record(path);
+                        m.refresh_due(g, snap.index())
+                    } else {
+                        false
+                    }
                 };
                 if due {
                     refresher.request_refresh();

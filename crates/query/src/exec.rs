@@ -38,9 +38,9 @@ use xmlgraph::{LabelId, NodeId};
 /// Reusable per-context buffers: operators borrow these instead of
 /// allocating per invocation.
 #[derive(Debug, Default)]
-struct ExecScratch {
-    semi: SemijoinScratch,
-    union: Vec<EdgePair>,
+pub(crate) struct ExecScratch {
+    pub(crate) semi: SemijoinScratch,
+    pub(crate) union: Vec<EdgePair>,
 }
 
 /// Per-query execution state: the cost being accumulated, the kernel
@@ -129,8 +129,10 @@ impl<'a> ExecContext<'a> {
     }
 
     /// Runs `body` and attributes every scalar counter it moves to
-    /// `kind`, counting one invocation.
-    fn attributed<T>(
+    /// `kind`, counting one invocation. Shared with the planner's
+    /// executor ([`crate::plan`]), which runs its backward pass through
+    /// the same attribution discipline as the built-in operators.
+    pub(crate) fn attributed<T>(
         &mut self,
         kind: OpKind,
         body: impl FnOnce(&mut Cost, &BufferHandle, &mut ExecScratch) -> T,
@@ -182,7 +184,7 @@ impl<'a> ExecContext<'a> {
 /// this bounds generation tags to 2¹⁶ (snapshot swap counts, far
 /// below).
 #[inline]
-fn block_oid(space: Space, id: u64, k: u32) -> ObjectId {
+pub(crate) fn block_oid(space: Space, id: u64, k: u32) -> ObjectId {
     debug_assert!(id < 1 << 48, "extent id {id:#x} overflows block ids");
     ObjectId::new(space, (id << 16) | k as u64)
 }

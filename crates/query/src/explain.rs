@@ -13,6 +13,7 @@ use apex_storage::KernelPolicy;
 use xmlgraph::{LabelId, XmlGraph};
 
 use crate::ast::Query;
+use crate::plan::{JoinOrderPolicy, Planner};
 
 /// One segment of a QTYPE1 plan: the query prefix `labels[..prefix_len]`
 /// resolved through `H_APEX`.
@@ -46,6 +47,11 @@ pub enum Plan {
         joins: usize,
         /// QTYPE3 only: the value predicate requiring table probes.
         value_filter: bool,
+        /// Join order chosen by the cost-based planner
+        /// ([`crate::plan::Planner`]): `forward` or `backward(r)`.
+        order: String,
+        /// The planner's predicted total cost for the chosen order.
+        predicted_total: u64,
     },
     /// QTYPE2: dataflow from the `first`-labeled classes.
     AncestorDescendant {
@@ -89,6 +95,8 @@ impl Plan {
                 segments,
                 joins,
                 value_filter,
+                order,
+                predicted_total,
             } => {
                 for seg in segments {
                     s.push_str(&format!(
@@ -108,6 +116,9 @@ impl Plan {
                 } else {
                     s.push_str(&format!(
                         "  -> MultiwayJoin: ExtentUnion seed + {joins} Semijoin step(s), kernels as above\n"
+                    ));
+                    s.push_str(&format!(
+                        "  -> join order: {order} (cost-based, predicted total {predicted_total})\n"
                     ));
                 }
                 if *value_filter {
@@ -193,10 +204,17 @@ fn plan_path(apex: &Apex, labels: &[LabelId], value_filter: bool) -> Plan {
         });
     }
     let joins = segments.len() - 1;
+    // Ask the cost-based planner which join order it would pick for
+    // this chain (over live extent statistics — `explain` has no
+    // snapshot), so the rendered plan matches what execution runs.
+    let planned = Planner::new(apex, None, KernelPolicy::Adaptive, 0)
+        .plan_path(labels, JoinOrderPolicy::Planned);
     Plan::PathJoin {
         segments,
         joins,
         value_filter,
+        order: planned.order.label(),
+        predicted_total: planned.predicted_total,
     }
 }
 
@@ -235,6 +253,8 @@ mod tests {
             segments,
             joins,
             value_filter,
+            order,
+            ..
         } = &plan
         else {
             panic!("expected path plan")
@@ -250,6 +270,12 @@ mod tests {
         assert!(segments.iter().skip(1).all(|s| s.kernel.is_some()));
         let rendered = plan.render(&g, &q);
         assert!(rendered.contains("[semijoin: "), "{rendered}");
+        // The cost-based planner's chosen join order is part of the plan.
+        assert!(
+            order.as_str() == "forward" || order.starts_with("backward("),
+            "{order}"
+        );
+        assert!(rendered.contains("join order: "), "{rendered}");
     }
 
     #[test]
@@ -278,6 +304,27 @@ mod tests {
         let s = explain_apex(&idx, &q).render_with_buffer(&g, &q, &stats);
         assert!(s.contains("buffer pool"));
         assert!(s.contains("hit_rate"));
+    }
+
+    #[test]
+    fn executed_plan_report_shows_predicted_and_actual() {
+        // The `explain` tail: evaluating the query yields a PlanReport
+        // whose rendering puts predicted and actual cost side by side
+        // with the mispredict ratio.
+        use crate::apex_qp::ApexProcessor;
+        use crate::batch::QueryProcessor;
+        use apex_storage::{DataTable, PageModel};
+        let (g, idx) = figure2();
+        let table = DataTable::build(&g, PageModel::default());
+        let qp = ApexProcessor::new(&g, &idx, &table);
+        let q = Query::parse(&g, "//director/movie/title").unwrap();
+        let out = qp.eval(&q);
+        let rep = out.plan.expect("apex plans every path query");
+        let rendered = rep.render();
+        assert!(rendered.contains("pred.work"), "{rendered}");
+        assert!(rendered.contains("act.work"), "{rendered}");
+        assert!(rendered.contains("mispredict ratio"), "{rendered}");
+        assert!(!rep.forecasts.is_empty());
     }
 
     #[test]

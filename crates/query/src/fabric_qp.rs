@@ -6,9 +6,12 @@ use apex_storage::bufmgr::BufferHandle;
 use fabric::IndexFabric;
 use xmlgraph::XmlGraph;
 
+use apex_storage::OpKind;
+
 use crate::ast::Query;
 use crate::batch::{QueryOutput, QueryProcessor};
 use crate::exec::{ExecContext, TrieSearch};
+use crate::plan;
 
 /// Query processor over an [`IndexFabric`].
 pub struct FabricProcessor<'a> {
@@ -41,8 +44,17 @@ impl QueryProcessor for FabricProcessor<'_> {
     /// does.
     fn eval(&self, q: &Query) -> QueryOutput {
         let mut ctx = ExecContext::new(&self.buf);
-        let nodes = match q {
+        let (nodes, report) = match q {
             Query::ValuePath { labels, value } => {
+                // The fabric's only strategy is a whole-trie partial
+                // search, so the forecast is the trie itself: every
+                // node visited, every block faulted.
+                let before = ctx.cost.ops;
+                let predicted = [(
+                    OpKind::TrieSearch,
+                    self.fabric.trie_nodes() as u64,
+                    self.fabric.block_count() as u64,
+                )];
                 let mut nodes = TrieSearch {
                     fabric: self.fabric,
                     labels,
@@ -51,14 +63,22 @@ impl QueryProcessor for FabricProcessor<'_> {
                 }
                 .run(&mut ctx);
                 self.g.sort_doc_order(&mut nodes);
-                nodes
+                let report = plan::build_report(
+                    self.fabric.trie_nodes() as u64,
+                    "trie",
+                    &predicted,
+                    &before,
+                    &ctx.cost.ops,
+                );
+                (nodes, Some(report))
             }
-            _ => Vec::new(),
+            _ => (Vec::new(), None),
         };
         QueryOutput {
             nodes,
             cost: ctx.finish(),
             interrupted: false,
+            plan: report,
         }
     }
 

@@ -20,7 +20,7 @@
 use std::hash::Hash;
 
 use apex_storage::bufmgr::{BufferHandle, Space};
-use apex_storage::DataTable;
+use apex_storage::{DataTable, OpKind, PageModel};
 use dataguide::{DataGuide, DgNodeId};
 use oneindex::{BlockId, OneIndex};
 use xmlgraph::{LabelId, NodeId, XmlGraph};
@@ -28,6 +28,7 @@ use xmlgraph::{LabelId, NodeId, XmlGraph};
 use crate::ast::Query;
 use crate::batch::{QueryOutput, QueryProcessor};
 use crate::exec::{self, DataProbe, ExecContext, ExtentScan, IndexNav};
+use crate::plan;
 
 /// Abstraction over rooted path indexes whose nodes carry target-set
 /// extents (DataGuide, 1-index).
@@ -293,6 +294,17 @@ impl<I: RootedIndex> QueryProcessor for GuideProcessor<'_, I> {
 
     fn eval(&self, q: &Query) -> QueryOutput {
         let mut ctx = ExecContext::new(&self.buf);
+        // A rooted index has exactly one strategy — exhaustive
+        // navigation — so its forecast is the whole index graph: every
+        // edge traversed, every node record faulted. Accurate for
+        // QTYPE1/2 (the fixpoints visit everything reachable); extent
+        // scans and value probes surface as honest mispredicts.
+        let before = ctx.cost.ops;
+        let total_bytes = self.node_offsets.last().copied().unwrap_or(0);
+        let nodes_n = self.index.node_count_hint() as u64;
+        let edges = (total_bytes.saturating_sub(16 * nodes_n)) / 8;
+        let psz = PageModel::default().page_size as u64;
+        let predicted = [(OpKind::IndexNav, edges, total_bytes.div_ceil(psz.max(1)))];
         let nodes = match q {
             Query::PartialPath { labels } => self.eval_path(labels, &mut ctx),
             Query::AncestorDescendant { first, last } => {
@@ -311,10 +323,18 @@ impl<I: RootedIndex> QueryProcessor for GuideProcessor<'_, I> {
                 nodes
             }
         };
+        let report = plan::build_report(
+            nodes_n ^ (edges << 20),
+            "navigate",
+            &predicted,
+            &before,
+            &ctx.cost.ops,
+        );
         QueryOutput {
             nodes,
             cost: ctx.finish(),
             interrupted: false,
+            plan: Some(report),
         }
     }
 

@@ -39,6 +39,7 @@ pub mod fabric_qp;
 pub mod generator;
 pub mod guide_qp;
 pub mod naive;
+pub mod plan;
 pub mod stats;
 
 pub use ast::Query;
@@ -49,3 +50,4 @@ pub use batch::{
 pub use exec::ExecContext;
 pub use explain::{explain_apex, Plan, SegmentPlan};
 pub use generator::{GeneratorConfig, QuerySets};
+pub use plan::{JoinOrder, JoinOrderPolicy, OpForecast, PathPlan, PlanReport, Planner};

@@ -172,6 +172,7 @@ impl QueryProcessor for NaiveProcessor<'_> {
             nodes,
             cost: ctx.finish(),
             interrupted: false,
+            plan: None,
         }
     }
 

@@ -452,6 +452,11 @@ impl BufferHandle {
         self.lock().objects()
     }
 
+    /// Pages currently resident across all objects.
+    pub fn resident_pages(&self) -> u64 {
+        self.lock().resident_pages()
+    }
+
     /// Capacity in pages (`u64::MAX` for unbounded pools).
     pub fn capacity_pages(&self) -> u64 {
         self.lock().capacity_pages()

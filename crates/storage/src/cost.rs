@@ -33,11 +33,15 @@ pub enum OpKind {
     IndexNav,
     /// Patricia-trie key search / traversal (Index Fabric).
     TrieSearch,
+    /// Right-to-left semijoin reduction: keeps the pairs of a stage
+    /// whose *end node* parents some pair of the already-reduced stage
+    /// to its right (planner-chosen backward pass).
+    SemijoinReverse,
 }
 
 impl OpKind {
     /// Every operator, in display order.
-    pub const ALL: [OpKind; 9] = [
+    pub const ALL: [OpKind; 10] = [
         OpKind::ExtentScan,
         OpKind::ExtentUnion,
         OpKind::SemijoinMerge,
@@ -47,6 +51,7 @@ impl OpKind {
         OpKind::DataProbe,
         OpKind::IndexNav,
         OpKind::TrieSearch,
+        OpKind::SemijoinReverse,
     ];
 
     /// Operator name as shown by `explain` and the shell.
@@ -61,11 +66,15 @@ impl OpKind {
             OpKind::DataProbe => "DataProbe",
             OpKind::IndexNav => "IndexNav",
             OpKind::TrieSearch => "TrieSearch",
+            OpKind::SemijoinReverse => "SemijoinReverse",
         }
     }
 
+    /// Stable dense index of this kind — its position in
+    /// [`OpKind::ALL`]. Lets aggregators (the workload monitor's plan
+    /// feedback, the per-operator breakdown) keep flat arrays.
     #[inline]
-    fn idx(self) -> usize {
+    pub fn idx(self) -> usize {
         match self {
             OpKind::ExtentScan => 0,
             OpKind::ExtentUnion => 1,
@@ -76,6 +85,7 @@ impl OpKind {
             OpKind::DataProbe => 6,
             OpKind::IndexNav => 7,
             OpKind::TrieSearch => 8,
+            OpKind::SemijoinReverse => 9,
         }
     }
 }
@@ -109,7 +119,7 @@ impl OpCost {
 /// Per-operator attribution of the scalar counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct OpBreakdown {
-    per_op: [OpCost; 9],
+    per_op: [OpCost; 10],
 }
 
 impl OpBreakdown {

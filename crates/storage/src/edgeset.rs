@@ -206,6 +206,76 @@ impl EdgeSet {
         self.pairs.iter().all(|p| other.contains(*p))
     }
 
+    /// The cached distinct end nodes, **if already computed** — `None`
+    /// otherwise. Never computes: statistics assembly (the planner's
+    /// `PlanStats`) must stay O(1) per extent and must not fault work
+    /// into cold sets.
+    #[inline]
+    pub fn cached_ends(&self) -> Option<&[NodeId]> {
+        self.ends.get().map(|v| v.as_slice())
+    }
+
+    /// The cached block image, **if already encoded** — `None`
+    /// otherwise. Never encodes (see [`EdgeSet::cached_ends`]).
+    #[inline]
+    pub fn cached_blocks(&self) -> Option<&BlockExtent> {
+        self.blocks.get()
+    }
+
+    /// Distinct end-node count when the cache is warm, else the pair
+    /// count as an upper bound. O(1); never forces the cache.
+    #[inline]
+    pub fn ends_len_hint(&self) -> usize {
+        self.ends.get().map_or(self.pairs.len(), |v| v.len())
+    }
+
+    /// Stored-block count when the encoding cache is warm, else an
+    /// estimate from the raw pair count (≈4 encoded bytes per pair
+    /// against the one-page block target). O(1); never encodes.
+    #[inline]
+    pub fn blocks_hint(&self) -> usize {
+        match self.blocks.get() {
+            Some(bx) => bx.num_blocks().max(1),
+            None => 1 + self.pairs.len() * 4 / crate::block::BLOCK_TARGET_BYTES,
+        }
+    }
+
+    /// Smallest and largest parent of the set — O(1) because pairs are
+    /// sorted by `(parent, node)`. `None` when empty.
+    #[inline]
+    pub fn parent_bounds(&self) -> Option<(NodeId, NodeId)> {
+        Some((self.pairs.first()?.parent, self.pairs.last()?.parent))
+    }
+
+    /// Smallest and largest *end node* of the set. Uses the end-node
+    /// cache when warm (O(1)); otherwise one linear min/max scan of the
+    /// in-memory pairs — never decodes blocks. `None` when empty.
+    pub fn node_bounds(&self) -> Option<(NodeId, NodeId)> {
+        if let Some(ends) = self.ends.get() {
+            return Some((*ends.first()?, *ends.last()?));
+        }
+        let mut it = self.pairs.iter().map(|p| p.node);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for n in it {
+            lo = lo.min(n);
+            hi = hi.max(n);
+        }
+        Some((lo, hi))
+    }
+
+    /// Number of pairs whose parent lies in `lo..=hi` (two binary
+    /// searches — the selectivity probe `PlanStats` uses to size a
+    /// semijoin against a candidate frontier without touching blocks).
+    pub fn pairs_in_parent_range(&self, lo: NodeId, hi: NodeId) -> usize {
+        if lo > hi {
+            return 0;
+        }
+        let a = self.pairs.partition_point(|p| p.parent < lo);
+        let b = self.pairs.partition_point(|p| p.parent <= hi);
+        b - a
+    }
+
     /// Distinct end nodes, sorted. Computed once and cached; mutation
     /// invalidates the cache.
     pub fn end_nodes(&self) -> &[NodeId] {
@@ -450,6 +520,32 @@ mod tests {
         // A failed insert (duplicate) keeps the caches valid.
         assert!(!s.insert(EdgePair::new(NodeId(3), NodeId(11))));
         assert_eq!(s.end_nodes().len(), 3);
+    }
+
+    #[test]
+    fn cheap_accessors_never_force_caches() {
+        let s = EdgeSet::from_raw(&[(1, 5), (2, 5), (3, 6), (7, 8)]);
+        // Cold: nothing cached, hints fall back to bounds.
+        assert!(s.cached_ends().is_none());
+        assert!(s.cached_blocks().is_none());
+        assert_eq!(s.ends_len_hint(), 4);
+        assert!(s.blocks_hint() >= 1);
+        assert_eq!(s.parent_bounds(), Some((NodeId(1), NodeId(7))));
+        assert_eq!(s.node_bounds(), Some((NodeId(5), NodeId(8))));
+        assert_eq!(s.pairs_in_parent_range(NodeId(2), NodeId(3)), 2);
+        assert_eq!(s.pairs_in_parent_range(NodeId(4), NodeId(6)), 0);
+        assert_eq!(s.pairs_in_parent_range(NodeId(9), NodeId(1)), 0);
+        // The probes above must not have materialized either cache.
+        assert!(s.cached_ends().is_none());
+        assert!(s.cached_blocks().is_none());
+        // Warm: hints become exact.
+        let _ = s.end_nodes();
+        let _ = s.blocks();
+        assert_eq!(s.cached_ends().unwrap().len(), 3);
+        assert_eq!(s.ends_len_hint(), 3);
+        assert_eq!(s.blocks_hint(), s.blocks().num_blocks());
+        assert!(EdgeSet::new().parent_bounds().is_none());
+        assert_eq!(EdgeSet::new().ends_len_hint(), 0);
     }
 
     #[test]

@@ -315,6 +315,45 @@ fn block_skip_kernel(
     KernelReport { work, pairs_read }
 }
 
+/// Right-to-left reduction kernel: keeps the pairs of `extent` whose
+/// *end node* is one of the sorted, distinct `parents` — i.e. the pairs
+/// that can still be extended by some pair of the (already reduced)
+/// stage to their right. The planner's backward pass runs this from the
+/// last stage towards the seed before the forward pass (Yannakakis-style
+/// semijoin reduction); dropping a pair here is always safe because a
+/// pair whose node parents nothing downstream cannot contribute to the
+/// final frontier.
+///
+/// Pairs are stored sorted by `(parent, node)`, so node order is
+/// arbitrary: every pair pays one binary search into `parents`
+/// (`log₂ + 1` comparisons), and the whole extent — every block — is
+/// read. Output keeps extent order, so it stays sorted and
+/// duplicate-free.
+pub fn reverse_semijoin_into(
+    extent: &EdgeSet,
+    parents: &[NodeId],
+    scratch: &mut SemijoinScratch,
+) -> KernelReport {
+    scratch.reset();
+    if extent.is_empty() {
+        return KernelReport::default();
+    }
+    let bx = extent.blocks();
+    scratch.blocks.extend(0..bx.num_blocks() as u32);
+    let probe_cost = (usize::BITS - parents.len().leading_zeros()) as usize + 1;
+    let mut work = 0usize;
+    for p in extent.pairs() {
+        work += probe_cost;
+        if parents.binary_search(&p.node).is_ok() {
+            scratch.out.push(*p);
+        }
+    }
+    KernelReport {
+        work,
+        pairs_read: extent.len(),
+    }
+}
+
 /// Collects into `blocks` the indices of blocks whose parent range
 /// intersects `ends` — the blocks a probe-style kernel faults.
 /// Returns the total pairs resident in those blocks.
@@ -421,6 +460,33 @@ mod tests {
             assert_eq!(KernelPolicy::parse(p.name()), Some(p));
         }
         assert_eq!(KernelPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn reverse_kernel_keeps_extendable_pairs() {
+        let extent = EdgeSet::from_raw(&[(1, 2), (1, 3), (4, 5), (7, 8), (9, 1)]);
+        let mut scratch = SemijoinScratch::new();
+        // Pairs ending at 2, 5 or 42 survive.
+        let parents = [NodeId(2), NodeId(5), NodeId(42)];
+        let rep = reverse_semijoin_into(&extent, &parents, &mut scratch);
+        assert_eq!(
+            scratch.out,
+            vec![
+                EdgePair::new(NodeId(1), NodeId(2)),
+                EdgePair::new(NodeId(4), NodeId(5)),
+            ]
+        );
+        // Output keeps (parent, node) order.
+        assert!(scratch.out.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(rep.pairs_read, extent.len());
+        assert_eq!(scratch.blocks.len(), extent.blocks().num_blocks());
+        assert!(rep.work > 0);
+        // Empty parent set drops everything; empty extent is free.
+        reverse_semijoin_into(&extent, &[], &mut scratch);
+        assert!(scratch.out.is_empty());
+        let rep = reverse_semijoin_into(&EdgeSet::new(), &parents, &mut scratch);
+        assert_eq!(rep, KernelReport::default());
+        assert!(scratch.blocks.is_empty());
     }
 
     #[test]

@@ -155,7 +155,11 @@ fn mixed_workload_on_ged() {
 /// The kernel policy must never change results: the same mixed workload
 /// through APEX under every fixed kernel and the adaptive default
 /// returns the naive oracle's nodes, with attribution still a partition
-/// — and identical logical join output across policies.
+/// — and identical logical join output across policies. The join order
+/// is pinned to forward so only the kernel varies: under the planned
+/// default a forced kernel policy shifts the planner's cost estimates
+/// and can legitimately flip the join order (order equivalence is
+/// `every_join_order_is_equivalent`'s concern).
 #[test]
 fn every_kernel_policy_is_equivalent() {
     let fx = Fixture::build(small::flix(), cfg(0xE5));
@@ -171,7 +175,9 @@ fn every_kernel_policy_is_equivalent() {
     let expect: Vec<Vec<xmlgraph::NodeId>> = mixed.iter().map(|q| naive.eval(q).nodes).collect();
     let mut join_output: Option<u64> = None;
     for policy in KernelPolicy::ALL {
-        let p = ApexProcessor::new(&fx.g, &apex, &fx.table).with_kernel_policy(policy);
+        let p = ApexProcessor::new(&fx.g, &apex, &fx.table)
+            .with_kernel_policy(policy)
+            .with_join_order(apex_query::JoinOrderPolicy::ForceForward);
         let mut total = Cost::new();
         for (qi, q) in mixed.iter().enumerate() {
             let out = p.eval(q);
@@ -189,6 +195,66 @@ fn every_kernel_policy_is_equivalent() {
         match join_output {
             None => join_output = Some(total.join_output),
             Some(j) => assert_eq!(total.join_output, j, "policy {}", policy.name()),
+        }
+    }
+}
+
+/// The cost-based planner's join order must never change results: the
+/// same mixed workload through APEX under the planned default and both
+/// forced orders returns the naive oracle's nodes, attribution stays a
+/// partition, and every evaluated query carries a plan report whose
+/// per-operator actuals are bounded by (and, for pure path queries,
+/// exactly partition) the query's total cost.
+#[test]
+fn every_join_order_is_equivalent() {
+    use apex_query::JoinOrderPolicy;
+    let fx = Fixture::build(small::ged(), cfg(0xE6));
+    let naive = NaiveProcessor::new(&fx.g, &fx.table);
+    let apex = fx.apex_at(0.01);
+    let mixed: Vec<&Query> = fx
+        .queries
+        .qtype1
+        .iter()
+        .chain(fx.queries.qtype2.iter())
+        .chain(fx.queries.qtype3.iter())
+        .collect();
+    let expect: Vec<Vec<xmlgraph::NodeId>> = mixed.iter().map(|q| naive.eval(q).nodes).collect();
+    for order in [
+        JoinOrderPolicy::Planned,
+        JoinOrderPolicy::ForceForward,
+        JoinOrderPolicy::ForceBackward,
+    ] {
+        let p = ApexProcessor::new(&fx.g, &apex, &fx.table).with_join_order(order);
+        for (qi, q) in mixed.iter().enumerate() {
+            let out = p.eval(q);
+            assert_eq!(
+                out.nodes,
+                expect[qi],
+                "order {} differs on {}",
+                order.name(),
+                q.render(&fx.g)
+            );
+            assert_partition(&out.cost, order.name());
+            let rep = out.plan.expect("apex reports a plan for every query");
+            let actual: u64 = rep
+                .forecasts
+                .iter()
+                .map(|f| f.actual_work + f.actual_pages)
+                .sum();
+            assert!(
+                actual <= out.cost.total(),
+                "plan actuals exceed the query cost on {}",
+                q.render(&fx.g)
+            );
+            if matches!(q, Query::PartialPath { .. }) {
+                assert_eq!(
+                    actual,
+                    out.cost.total(),
+                    "order {}: plan actuals must partition the cost of {}",
+                    order.name(),
+                    q.render(&fx.g)
+                );
+            }
         }
     }
 }

@@ -424,6 +424,80 @@ mod exec_laws {
     }
 }
 
+/// Laws of the cost-based planner's feedback: on arbitrary graphs,
+/// workload refinements and path queries, every join order returns the
+/// oracle's nodes, and the executed plan's per-operator actuals
+/// reproduce the attributed cost breakdown exactly — work + pages over
+/// the report's rows is an exact partition of the query's total cost,
+/// never an estimate.
+mod plan_laws {
+    use super::{materialize, rand_graph, rand_paths, to_label_path};
+    use apex::{Apex, Workload};
+    use apex_query::batch::QueryProcessor;
+    use apex_query::naive::NaiveProcessor;
+    use apex_query::{apex_qp::ApexProcessor, JoinOrderPolicy, Query};
+    use apex_storage::{DataTable, PageModel};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+        #[test]
+        fn plan_actuals_partition_query_cost(
+            rg in rand_graph(35),
+            workload_paths in rand_paths(3, 6),
+            query_paths in rand_paths(4, 10),
+            min_sup in 0.05f64..0.9,
+        ) {
+            let g = materialize(&rg);
+            let table = DataTable::build(&g, PageModel::default());
+            let naive = NaiveProcessor::new(&g, &table);
+            let mut apex = Apex::build_initial(&g);
+            let wl = Workload::from_paths(
+                workload_paths.iter().filter_map(|p| to_label_path(&g, p)).collect(),
+            );
+            apex.refine(&g, &wl, min_sup);
+            for order in [
+                JoinOrderPolicy::Planned,
+                JoinOrderPolicy::ForceForward,
+                JoinOrderPolicy::ForceBackward,
+            ] {
+                let ap = ApexProcessor::new(&g, &apex, &table).with_join_order(order);
+                for qp in &query_paths {
+                    let Some(path) = to_label_path(&g, qp) else { continue };
+                    let q = Query::PartialPath { labels: path.0.clone() };
+                    let expect = naive.eval(&q).nodes;
+                    let out = ap.eval(&q);
+                    prop_assert_eq!(
+                        &out.nodes, &expect,
+                        "{} on {}", order.name(), q.render(&g)
+                    );
+                    let rep = out.plan.as_ref().expect("path queries always plan");
+                    // Each row's actuals are the operator's attributed
+                    // scalars: work = every non-page scalar, pages = the
+                    // page scalar.
+                    let mut act_work = 0u64;
+                    let mut act_pages = 0u64;
+                    for f in &rep.forecasts {
+                        let op = out.cost.ops.get(f.kind);
+                        let w: u64 = (0..8).filter(|&i| i != 5).map(|i| op.scalars[i]).sum();
+                        prop_assert_eq!(f.actual_work, w, "{} work", f.kind.name());
+                        prop_assert_eq!(f.actual_pages, op.scalars[5], "{} pages", f.kind.name());
+                        act_work += f.actual_work;
+                        act_pages += f.actual_pages;
+                    }
+                    // Summed over rows they are exactly the query total.
+                    prop_assert_eq!(
+                        act_work + act_pages,
+                        out.cost.total(),
+                        "partition under {} on {}", order.name(), q.render(&g)
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Laws of the block storage format and the semijoin kernels: every
 /// edge set survives encode → decode (in memory and through the byte
 /// image), and all three kernels — plus whatever the adaptive policy
