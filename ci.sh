@@ -7,10 +7,15 @@
 # are compile-checked here, not run.
 #
 # apex-lint (crates/lint) is the workspace's own invariant checker: it
-# walks crates/*/src and fails the gate on any finding (cost-counter
-# writes outside the storage/executor layers, panicking calls in library
-# code, missing #![forbid(unsafe_code)], stray terminal output, direct
-# process::exit, or buffer pools constructed outside storage/batch).
+# walks crates/*/src and fails the gate on any finding — cost-counter
+# writes outside the storage/executor layers, panics reachable from the
+# serving roots (whole-workspace call graph), lock-order cycles and
+# blocking under two guards, allocation in the semijoin hot paths,
+# panicking calls in library code, missing #![forbid(unsafe_code)],
+# stray terminal output, direct process::exit, buffer pools constructed
+# outside storage/batch, and stale or unjustified suppressions. See
+# crates/lint/RULES.md. The lint_selfcheck step archives the machine
+# reports (SARIF + JSON) under results/.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -75,6 +80,20 @@ plan_smoke() {
     rm -rf "$out"
 }
 
+# The self-check runs apex-lint over the workspace (its own sources
+# included) and archives the machine-readable reports under results/ for
+# code-scanning consumers. Text mode above is the human-facing gate;
+# this step proves the SARIF/JSON reporters stay wired and leaves an
+# artifact CI can upload.
+lint_selfcheck() {
+    mkdir -p results
+    cargo run --release --offline --quiet -p apex-lint -- \
+        --root . --format sarif >results/apex-lint.sarif
+    cargo run --release --offline --quiet -p apex-lint -- \
+        --root . --format json >results/apex-lint.json
+    echo "lint_selfcheck: reports in results/apex-lint.{sarif,json}"
+}
+
 # The network load generator is the serving smoke test: it drives a
 # real apex-net socket server closed- and open-loop while the refresher
 # swaps index generations underneath, then drains and *asserts* the
@@ -95,6 +114,7 @@ run net_smoke
 run stress
 run cargo clippy --offline --workspace --all-targets -- "${CLIPPY_EXTRA[@]}" -D warnings
 run cargo run --release --offline --quiet -p apex-lint -- --root .
+run lint_selfcheck
 run cargo bench --offline --no-run --features apex-bench/bench-harness -p apex-bench
 run cargo fmt --check
 

@@ -64,6 +64,7 @@ impl GApex {
 
     /// Immutable node access.
     #[inline]
+    // apex-lint: allow(panic-reachability): XNodeIds are minted by this arena and index it by construction; the accessor is the class-node hot path
     pub fn node(&self, x: XNodeId) -> &XNode {
         &self.nodes[x.idx()]
     }
@@ -76,6 +77,7 @@ impl GApex {
 
     /// The extent of `x`.
     #[inline]
+    // apex-lint: allow(panic-reachability): XNodeIds are minted by this arena and index it by construction
     pub fn extent(&self, x: XNodeId) -> &EdgeSet {
         &self.nodes[x.idx()].extent
     }

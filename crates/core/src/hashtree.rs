@@ -161,6 +161,7 @@ impl HashTree {
     }
 
     /// Entry for `label` in `h`, if present.
+    // apex-lint: allow(panic-reachability): HNodeIds are minted by this arena and index it by construction
     pub fn entry(&self, h: HNodeId, label: LabelId) -> Option<&Entry> {
         self.nodes[h.idx()].entries.get(&label)
     }
@@ -255,6 +256,7 @@ impl HashTree {
     /// Collects every `xnode` in the subtree rooted at `h` (labeled
     /// entries recursively, plus remainders). The union of their extents
     /// is exactly `T(p)` for the suffix `p` that `h` represents.
+    // apex-lint: allow(panic-reachability): HNodeIds are minted by this arena and index it by construction
     pub fn subtree_xnodes(&self, h: HNodeId, out: &mut Vec<XNodeId>) {
         let mut stack = vec![h];
         while let Some(id) = stack.pop() {
@@ -276,6 +278,7 @@ impl HashTree {
     /// The `G_APEX` nodes a *query* on `path` must read (§6.1's "union of
     /// extents of nodes which can be located using H_APEX"), plus whether
     /// that union is exactly `T(path)`.
+    // apex-lint: allow(panic-reachability): hnode walks entry.next links, which only ever point at live arena nodes
     pub fn query_nodes(&self, path: &[LabelId]) -> QueryNodes {
         let mut q = QueryNodes::default();
         let mut hnode = self.head;

@@ -187,6 +187,7 @@ impl IndexFabric {
     }
 
     /// [`IndexFabric::search_exact`] through a shared buffer pool.
+    // apex-lint: allow(panic-reachability): trie payloads are indices into `keys`, written together at build time
     pub fn search_exact_buffered(
         &self,
         buf: &apex_storage::BufferHandle,
@@ -206,6 +207,7 @@ impl IndexFabric {
     /// [`IndexFabric::search_partial`] through a shared buffer pool:
     /// the traversal still visits every trie node, but blocks resident
     /// from earlier queries are buffer hits instead of page reads.
+    // apex-lint: allow(panic-reachability): trie payloads are indices into `keys`, written together at build time
     pub fn search_partial_buffered(
         &self,
         buf: &apex_storage::BufferHandle,

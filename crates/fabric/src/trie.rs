@@ -40,6 +40,7 @@ impl Trie {
         self.blocks as usize
     }
 
+    // apex-lint: allow(panic-reachability): node ids come from the builder's arena and index it by construction
     fn child(&self, node: u32, byte: u8) -> Option<u32> {
         self.nodes[node as usize]
             .children
@@ -134,6 +135,7 @@ impl Trie {
     /// [`Trie::lookup`] through a shared buffer pool: blocks along the
     /// descent are charged only when absent from the pool, so repeated
     /// searches of a hot key region become buffer hits.
+    // apex-lint: allow(panic-reachability): node ids index the builder's arena; `rest` slicing is guarded by explicit length checks in the descent loop
     pub fn lookup_buffered(&self, buf: &BufferHandle, key: &[u8], cost: &mut Cost) -> &[u32] {
         let mut node = 0u32;
         let mut rest = key;

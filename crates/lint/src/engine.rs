@@ -1,12 +1,17 @@
 //! The rule engine: per-file context, test-region detection, inline
-//! suppressions, and the workspace walker.
+//! suppressions, the workspace model, and the workspace walker.
 //!
 //! A [`FileCtx`] is built once per file and handed to every rule. Rules
 //! see only *code* tokens (comments stripped) via [`FileCtx::code_tok`],
 //! plus a per-token "inside test code" flag so that `#[cfg(test)]`
 //! modules and `#[test]` functions are exempt from the runtime-behavior
-//! rules. Findings are filtered through inline suppression comments
-//! before being reported:
+//! rules. Since PR 7 each file also carries its recovered item
+//! structure ([`crate::parse::ParsedFile`]), and rules come in two
+//! shapes: per-file matchers and whole-[`Workspace`] analyses (call
+//! graph, lock order) that need every file at once.
+//!
+//! Findings are filtered through inline suppression comments before
+//! being reported:
 //!
 //! ```text
 //! cost.pages_read += 1; // apex-lint: allow(cost-io-writes): trie-local I/O
@@ -16,8 +21,9 @@
 //! closing parenthesis; it silences findings of that rule on its own
 //! line or, when the comment stands alone, on the following line.
 //! Reason-less suppressions are themselves findings (`bad-suppression`,
-//! error), and suppressions that silence nothing are reported as
-//! `unused-suppression` warnings so stale ones get cleaned up.
+//! error), and a suppression that silences nothing is a `stale-allow`
+//! *error* — a dead allow is a hole an invariant can silently leak
+//! through, so it fails the gate just like a live violation.
 
 use std::fmt;
 use std::fs;
@@ -25,6 +31,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parse::{parse, ParsedFile};
 use crate::rules;
 
 /// How severe a finding is. Errors fail the build; warnings fail only
@@ -120,10 +127,26 @@ impl<'a> FileCtx<'a> {
         }
     }
 
+    /// 1-based line of the `i`-th code token (`0` past the end).
+    pub fn line(&self, i: usize) -> u32 {
+        match self.code.get(i) {
+            Some(&ti) => self.toks[ti].line,
+            None => 0,
+        }
+    }
+
     /// True when the `i`-th code token is an identifier with text `s`.
     pub fn ident_is(&self, i: usize, s: &str) -> bool {
         match self.code.get(i) {
             Some(&ti) => self.toks[ti].kind == TokKind::Ident && self.toks[ti].text == s,
+            None => false,
+        }
+    }
+
+    /// True when the `i`-th code token is any identifier.
+    pub fn is_ident(&self, i: usize) -> bool {
+        match self.code.get(i) {
+            Some(&ti) => self.toks[ti].kind == TokKind::Ident,
             None => false,
         }
     }
@@ -206,7 +229,7 @@ impl<'a> FileCtx<'a> {
 
     /// `open` indexes a `{`; returns the index of the matching `}` (or
     /// the last token on imbalance).
-    fn matching_brace(&self, open: usize) -> usize {
+    pub(crate) fn matching_brace(&self, open: usize) -> usize {
         let mut depth = 0usize;
         for i in open..self.code.len() {
             match self.text(i) {
@@ -224,9 +247,41 @@ impl<'a> FileCtx<'a> {
     }
 }
 
+/// One lexed + parsed source file of the workspace under analysis.
+pub struct WorkspaceFile<'a> {
+    /// The token-level view.
+    pub ctx: FileCtx<'a>,
+    /// The item-level view.
+    pub parsed: ParsedFile,
+}
+
+/// All files of the workspace, in deterministic (path-sorted) order —
+/// the unit the whole-program rules (call graph, lock order) run over.
+pub struct Workspace<'a> {
+    /// The files, in the order given to [`Workspace::from_sources`].
+    pub files: Vec<WorkspaceFile<'a>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Builds the workspace model from `(rel_path, source)` pairs.
+    pub fn from_sources(sources: &'a [(String, String)]) -> Self {
+        Workspace {
+            files: sources
+                .iter()
+                .map(|(rel, src)| {
+                    let ctx = FileCtx::new(rel, src);
+                    let parsed = parse(&ctx);
+                    WorkspaceFile { ctx, parsed }
+                })
+                .collect(),
+        }
+    }
+}
+
 /// One parsed `// apex-lint: allow(<rule>): <reason>` comment entry.
 #[derive(Debug)]
 struct Suppression {
+    file: String,
     rule: String,
     line: u32,
     known_rule: bool,
@@ -296,6 +351,7 @@ fn parse_directive(
             });
         }
         out.push(Suppression {
+            file: file.to_string(),
             rule: name.to_string(),
             line,
             known_rule,
@@ -304,26 +360,33 @@ fn parse_directive(
     }
 }
 
-/// Lints one file given as a string. `rel_path` decides which crate the
-/// rules consider the code to belong to, so tests can probe allow-lists
-/// by picking paths. Findings come back sorted by line.
-pub fn lint_str(rel_path: &str, src: &str) -> Vec<Finding> {
-    let ctx = FileCtx::new(rel_path, src);
+/// Runs the full catalog over a built workspace model and applies the
+/// suppression pass. Findings come back sorted by `(file, line, rule)`.
+pub fn lint(ws: &Workspace<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
     for rule in rules::RULES {
-        (rule.check)(&ctx, &mut findings);
+        match rule.check {
+            rules::Check::File(check) => {
+                for file in &ws.files {
+                    check(file, &mut findings);
+                }
+            }
+            rules::Check::Workspace(check) => check(ws, &mut findings),
+        }
     }
 
     let mut suppressions: Vec<Suppression> = Vec::new();
     let mut meta_findings: Vec<Finding> = Vec::new();
-    for c in ctx.comments() {
-        parse_directive(
-            c.text,
-            c.line,
-            rel_path,
-            &mut suppressions,
-            &mut meta_findings,
-        );
+    for file in &ws.files {
+        for c in file.ctx.comments() {
+            parse_directive(
+                c.text,
+                c.line,
+                file.ctx.rel_path,
+                &mut suppressions,
+                &mut meta_findings,
+            );
+        }
     }
 
     // A suppression matches findings on its own line, or on the next
@@ -331,7 +394,7 @@ pub fn lint_str(rel_path: &str, src: &str) -> Vec<Finding> {
     findings.retain(|f| {
         let mut keep = true;
         for s in suppressions.iter_mut() {
-            if s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line) {
+            if s.rule == f.rule && s.file == f.file && (s.line == f.line || s.line + 1 == f.line) {
                 s.used = true;
                 keep = false;
             }
@@ -341,17 +404,31 @@ pub fn lint_str(rel_path: &str, src: &str) -> Vec<Finding> {
     for s in &suppressions {
         if !s.used && s.known_rule {
             meta_findings.push(Finding {
-                file: rel_path.to_string(),
+                file: s.file.clone(),
                 line: s.line,
-                rule: "unused-suppression",
-                severity: Severity::Warning,
-                message: format!("suppression of `{}` silences nothing", s.rule),
+                rule: "stale-allow",
+                severity: Severity::Error,
+                message: format!(
+                    "suppression of `{}` silences nothing; remove the stale allow",
+                    s.rule
+                ),
             });
         }
     }
     findings.extend(meta_findings);
-    findings.sort_by_key(|f| (f.line, f.rule));
     findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}
+
+/// Lints one file given as a string. `rel_path` decides which crate the
+/// rules consider the code to belong to, so tests can probe allow-lists
+/// by picking paths. The file is analyzed as a one-file workspace:
+/// whole-program rules see exactly this file (fixtures pick root paths
+/// to become their own serving roots). Findings come back sorted.
+pub fn lint_str(rel_path: &str, src: &str) -> Vec<Finding> {
+    let sources = [(rel_path.to_string(), src.to_string())];
+    lint(&Workspace::from_sources(&sources))
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
@@ -372,8 +449,8 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Walks `<root>/crates/*/src` and lints every Rust file. Paths in the
-/// findings are reported relative to `root`.
+/// Walks `<root>/crates/*/src` and lints every Rust file as one
+/// workspace. Paths in the findings are reported relative to `root`.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
@@ -389,7 +466,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             collect_rs(&src, &mut files)?;
         }
     }
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -399,7 +476,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .collect::<Vec<_>>()
             .join("/");
         let src = fs::read_to_string(&path)?;
-        findings.extend(lint_str(&rel, &src));
+        sources.push((rel, src));
     }
-    Ok(findings)
+    Ok(lint(&Workspace::from_sources(&sources)))
 }

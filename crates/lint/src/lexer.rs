@@ -305,7 +305,13 @@ impl<'a> Lexer<'a> {
             ("b", Some(b'\'')) => {
                 self.pos += 1; // the quote
                 if self.peek(0) == Some(b'\\') {
-                    self.pos += 2;
+                    // Skip the backslash, then the escaped byte — each
+                    // step guarded so `b'\` truncated at end of file
+                    // cannot run the cursor past the buffer.
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.bump_counting_lines();
+                    }
                 }
                 self.scan_to_closing_quote();
                 TokKind::Literal
@@ -373,6 +379,40 @@ mod tests {
         let t = kinds(r#"(b"ab.unwrap()", b'x', b'\n')"#);
         assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Literal).count(), 3);
         assert!(!t.contains(&(TokKind::Ident, "unwrap")));
+    }
+
+    #[test]
+    fn byte_literals_are_single_tokens_not_ident_plus_string() {
+        // Each prefixed form must come back as ONE Literal token whose
+        // text includes the prefix; a split (`b` ident + string) would
+        // desynchronize every window-based rule matcher downstream.
+        for src in [r#"b"bytes""#, "b'x'", r"b'\''", r"b'\\'", r##"br"raw""##] {
+            let t = kinds(src);
+            assert_eq!(t.len(), 1, "{src} should lex as one token, got {t:?}");
+            assert_eq!(t[0], (TokKind::Literal, src));
+        }
+    }
+
+    #[test]
+    fn truncated_byte_escape_at_eof_does_not_panic() {
+        // Regression: `b'\` ending the file used to advance the cursor
+        // past the buffer and panic slicing the token text.
+        for src in ["b'\\", "b'", "b'\\n", "'\\", "b\"", "br#\"x"] {
+            let t = lex(src);
+            assert!(!t.is_empty(), "{src:?} should still produce tokens");
+        }
+    }
+
+    #[test]
+    fn multiline_byte_string_counts_lines() {
+        let t = lex("b\"one\ntwo\"\nafter");
+        assert_eq!(t[0].kind, TokKind::Literal);
+        let after = Tok {
+            kind: TokKind::Ident,
+            text: "after",
+            line: 3,
+        };
+        assert_eq!(t[1], after);
     }
 
     #[test]

@@ -5,21 +5,29 @@
 //! architectural contracts into static rules over the workspace's own
 //! sources, in the same build-it-from-scratch spirit as the hand-written
 //! XML tokenizer: a small Rust lexer ([`lexer`]) that correctly skips
-//! strings and comments, a token-sequence rule engine ([`engine`],
-//! [`rules`]) with inline suppressions, and text/JSON reporters
-//! ([`report`]).
+//! strings and comments, an item-level parser ([`parse`]) that recovers
+//! functions, impl owners, parameters and lock-typed fields, a
+//! conservative call graph ([`callgraph`]) and lock-acquisition model
+//! ([`locks`]) built on top of it, a rule engine ([`engine`], [`rules`])
+//! with inline suppressions, and text/JSON/SARIF reporters ([`report`]).
 //!
 //! The binary walks `crates/*/src`, applies the catalog, and exits
-//! nonzero on errors; `ci.sh` runs it as a hard gate after clippy.
+//! nonzero on errors; `ci.sh` runs it as a hard gate after clippy, plus
+//! a timed self-check over this crate with a SARIF artifact.
 //!
 //! ## Rule catalog
 //!
-//! See [`rules::RULES`]. In short: `Cost` I/O counters may only be
-//! written by `apex-storage` and `apex_query::exec` (`cost-io-writes`);
-//! library code is panic-free (`no-panic`) and print-free (`no-print`);
-//! every crate root forbids `unsafe` (`forbid-unsafe`); only the CLI may
-//! call `process::exit` (`no-exit`); buffer pools are constructed only
-//! by the storage and batch layers (`pool-discipline`).
+//! See [`rules::RULES`] and `crates/lint/RULES.md`. The per-file rules:
+//! `Cost` I/O counters may only be written by `apex-storage` and the
+//! executor/planner (`cost-io-writes`); library code is panic-free
+//! (`no-panic`) and print-free (`no-print`); semijoin kernel bodies
+//! never allocate (`hot-path-alloc`); every crate root forbids `unsafe`
+//! (`forbid-unsafe`); only the CLI may call `process::exit` (`no-exit`);
+//! buffer pools are constructed only by the storage and batch layers
+//! (`pool-discipline`). The whole-workspace rules: nothing reachable
+//! from the serving roots can panic (`panic-reachability`), and the
+//! lock-acquisition graph is cycle-free with no blocking call under two
+//! guards (`lock-order`).
 //!
 //! ## Suppressions
 //!
@@ -28,18 +36,21 @@
 //! ```
 //!
 //! The justification after the second colon is mandatory; a suppression
-//! that silences nothing is reported as a warning so it cannot go stale
-//! silently.
+//! that silences nothing is itself an error (`stale-allow`), so dead
+//! allows cannot accumulate as holes in the gate.
 //!
 //! [`Cost`]: https://example.org/apex-rs (apex_storage::Cost)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod locks;
+pub mod parse;
 pub mod report;
 pub mod rules;
 
-pub use engine::{lint_str, lint_workspace, FileCtx, Finding, Severity};
-pub use report::{render_json, render_text, tally};
+pub use engine::{lint_str, lint_workspace, FileCtx, Finding, Severity, Workspace, WorkspaceFile};
+pub use report::{render_json, render_sarif, render_text, tally};

@@ -1,0 +1,755 @@
+//! An item-level parser over the lexer's token stream.
+//!
+//! The token-sequence rules of PR 2 see a flat window of tokens; the
+//! structure-aware rules (panic reachability, lock order, hot-path
+//! allocation) need to know *which function* a token belongs to, which
+//! `impl` owns that function, and which struct fields are locks. This
+//! module recovers exactly that much structure — `mod` / `impl` /
+//! `trait` / `fn` nesting, parameter lists, body extents, and
+//! `Mutex`/`RwLock` struct fields — and nothing more. It is a
+//! recognizer, not a grammar: every lookup is bounds-tolerant (via
+//! [`FileCtx::text`]'s empty-string-past-the-end contract) so malformed
+//! input degrades to fewer recovered items, never a panic.
+//!
+//! All indices in this module are *code-token* indices into the owning
+//! [`FileCtx`] (comments excluded), matching what the rule matchers use.
+
+use crate::engine::FileCtx;
+
+/// One function parameter, reduced to what the analyses need.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (`self` for receivers; the last ident of a pattern).
+    pub name: String,
+    /// The declared type's tokens joined with single spaces, e.g.
+    /// `& mut Vec < EdgePair >`. Empty for bare `self` receivers.
+    pub ty: String,
+}
+
+impl Param {
+    /// True when the parameter is taken by `&mut` reference.
+    pub fn by_mut_ref(&self) -> bool {
+        self.ty.starts_with("& mut ")
+    }
+
+    /// The head type name: the first path-segment identifier after
+    /// stripping references, `mut`, lifetimes, `dyn` and `impl` — for
+    /// `& mut fabric :: Trie < u32 >` this is `fabric`'s final segment
+    /// `Trie`… i.e. the last identifier before any `<` in the leading
+    /// path, which is what receiver-type call resolution keys on.
+    pub fn type_head(&self) -> Option<&str> {
+        let mut head = None;
+        for w in self.ty.split(' ') {
+            match w {
+                "&" | "mut" | "dyn" | "impl" => continue,
+                w if w.starts_with('\'') => continue,
+                "::" => continue,
+                "<" => break,
+                w if w
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_') =>
+                {
+                    head = Some(w);
+                }
+                _ => break,
+            }
+        }
+        head
+    }
+
+    /// For `& Mutex < Foo >` / `Arc < Mutex < Foo > >` returns `Foo`:
+    /// the identifier immediately following `Mutex <` (or `RwLock <`).
+    pub fn mutex_inner(&self) -> Option<&str> {
+        let words: Vec<&str> = self.ty.split(' ').collect();
+        for i in 0..words.len() {
+            if (words[i] == "Mutex" || words[i] == "RwLock")
+                && words.get(i + 1) == Some(&"<")
+                && words.get(i + 2).is_some()
+            {
+                return Some(words[i + 2]);
+            }
+        }
+        None
+    }
+}
+
+/// One recovered `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name.
+    pub name: String,
+    /// The `impl`/`trait` type the function belongs to, if any.
+    pub owner: Option<String>,
+    /// Inline `mod` path within the file (outermost first).
+    pub modules: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parsed parameter list.
+    pub params: Vec<Param>,
+    /// Code-token indices of the body's `{` and its matching `}`;
+    /// `None` for bodyless trait/extern declarations.
+    pub body: Option<(usize, usize)>,
+    /// True when the function lies in `#[test]`/`#[cfg(test)]` code.
+    pub is_test: bool,
+}
+
+/// One named struct field with its declared type.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Name of the struct that owns the field.
+    pub owner: String,
+    /// The field's name.
+    pub name: String,
+    /// The declared type's tokens joined with single spaces.
+    pub ty: String,
+}
+
+impl FieldItem {
+    /// `Some(rw)` when the field is a lock: `Mutex<…>` (`rw == false`)
+    /// or `RwLock<…>` (`rw == true`), possibly nested in `Arc<…>`.
+    pub fn lock_kind(&self) -> Option<bool> {
+        let words: Vec<&str> = self.ty.split(' ').collect();
+        for i in 0..words.len() {
+            if words.get(i + 1) == Some(&"<") {
+                match words[i] {
+                    "Mutex" => return Some(false),
+                    "RwLock" => return Some(true),
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Everything the parser recovers from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All `fn` items, in source order (nested fns included).
+    pub fns: Vec<FnItem>,
+    /// All named struct fields, with declared types.
+    pub fields: Vec<FieldItem>,
+    /// All type names the file defines (structs, enums, unions, traits,
+    /// and `impl` subjects).
+    pub types: Vec<String>,
+}
+
+impl ParsedFile {
+    /// The innermost function whose body contains code-token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(o, c)| o <= i && i <= c))
+            .min_by_key(|f| f.body.map(|(o, c)| c - o).unwrap_or(usize::MAX))
+    }
+}
+
+/// What kind of brace-delimited scope the walker is inside.
+#[derive(Debug, Clone)]
+enum ScopeKind {
+    Module(String),
+    Owner(String),
+    Struct(String),
+    Other,
+}
+
+struct Scope {
+    kind: ScopeKind,
+    depth: u32,
+}
+
+/// Tokens that may legally precede an item keyword (`impl`, `struct`,
+/// …) in statement position. Anything else — `->`, `(`, `,`, `&` — puts
+/// the keyword in *type* position (`-> impl Iterator`), not an item.
+fn item_position(prev: &str) -> bool {
+    matches!(prev, "" | "{" | "}" | ";" | "]" | "unsafe" | "pub" | ")")
+}
+
+/// Parses one file's structure. Never panics, even on arbitrary bytes:
+/// unrecognized regions simply contribute no items.
+pub fn parse(ctx: &FileCtx) -> ParsedFile {
+    Parser {
+        ctx,
+        out: ParsedFile::default(),
+        scopes: Vec::new(),
+        depth: 0,
+    }
+    .run()
+}
+
+struct Parser<'c, 'a> {
+    ctx: &'c FileCtx<'a>,
+    out: ParsedFile,
+    scopes: Vec<Scope>,
+    depth: u32,
+}
+
+impl<'c, 'a> Parser<'c, 'a> {
+    fn run(mut self) -> ParsedFile {
+        let mut i = 0usize;
+        let n = self.ctx.code_len();
+        while i < n {
+            let t = self.ctx.text(i);
+            let prev = if i == 0 { "" } else { self.ctx.text(i - 1) };
+            match t {
+                "{" => {
+                    self.depth += 1;
+                    i += 1;
+                }
+                "}" => {
+                    while self.scopes.last().is_some_and(|s| s.depth == self.depth) {
+                        self.scopes.pop();
+                    }
+                    self.depth = self.depth.saturating_sub(1);
+                    i += 1;
+                }
+                "mod" if item_position(prev) => i = self.item_mod(i),
+                "impl" if item_position(prev) => i = self.item_impl(i),
+                "trait" if item_position(prev) => i = self.item_trait(i),
+                "struct" | "enum" | "union" if item_position(prev) => i = self.item_struct(i),
+                "fn" => i = self.item_fn(i),
+                _ => {
+                    if let Some(next) = self.struct_field(i) {
+                        i = next;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Pushes `kind` for the brace opening at `open` (which the caller
+    /// has located but not consumed) and returns the index after it.
+    fn enter(&mut self, kind: ScopeKind, open: usize) -> usize {
+        self.depth += 1;
+        self.scopes.push(Scope {
+            kind,
+            depth: self.depth,
+        });
+        open + 1
+    }
+
+    /// `mod name { … }` or `mod name;`.
+    fn item_mod(&mut self, i: usize) -> usize {
+        let name = self.ctx.text(i + 1);
+        if !is_name(name) {
+            return i + 1;
+        }
+        match self.ctx.text(i + 2) {
+            "{" => self.enter(ScopeKind::Module(name.to_string()), i + 2),
+            _ => i + 2, // `mod name;` — out of line, nothing to scope
+        }
+    }
+
+    /// `impl [<…>] Type { … }` / `impl [<…>] Trait for Type { … }`.
+    fn item_impl(&mut self, i: usize) -> usize {
+        let mut j = i + 1;
+        j = self.skip_generics(j);
+        // Collect the header up to `{` (or give up at `;`/EOF); the
+        // implemented type is the segment after `for` when present.
+        let mut seg_start = j;
+        while j < self.ctx.code_len() {
+            match self.ctx.text(j) {
+                "{" => {
+                    let name = self.type_name_in(seg_start, j);
+                    return self.enter_owner(name, j);
+                }
+                ";" => return j + 1,
+                "for" => seg_start = j + 1,
+                "where" => {
+                    let name = self.type_name_in(seg_start, j);
+                    return match self.find_block_open(j) {
+                        Some(open) => self.enter_owner(name, open),
+                        None => self.ctx.code_len(),
+                    };
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Enters an `impl`/`trait` body, recording the owner type name.
+    fn enter_owner(&mut self, name: Option<String>, open: usize) -> usize {
+        match name {
+            Some(name) => {
+                if !self.out.types.contains(&name) {
+                    self.out.types.push(name.clone());
+                }
+                self.enter(ScopeKind::Owner(name), open)
+            }
+            None => self.enter(ScopeKind::Other, open),
+        }
+    }
+
+    /// `trait Name [: bounds] { … }`.
+    fn item_trait(&mut self, i: usize) -> usize {
+        let name = self.ctx.text(i + 1);
+        if !is_name(name) {
+            return i + 1;
+        }
+        match self.find_block_open(i + 2) {
+            Some(open) => self.enter_owner(Some(name.to_string()), open),
+            None => i + 2,
+        }
+    }
+
+    /// `struct Name [<…>] { fields }` (also covers `enum`/`union`
+    /// bodies — variant fields sit two levels deep and are not matched).
+    fn item_struct(&mut self, i: usize) -> usize {
+        let name = self.ctx.text(i + 1);
+        if !is_name(name) {
+            return i + 1;
+        }
+        if !self.out.types.contains(&name.to_string()) {
+            self.out.types.push(name.to_string());
+        }
+        let mut j = self.skip_generics(i + 2);
+        while j < self.ctx.code_len() {
+            match self.ctx.text(j) {
+                "{" => return self.enter(ScopeKind::Struct(name.to_string()), j),
+                ";" | "(" => return j, // unit or tuple struct
+                _ => j += 1,
+            }
+        }
+        j
+    }
+
+    /// Matches `[pub] name : Type` at the immediate depth of the
+    /// innermost `struct` scope, records it, and returns the index of
+    /// the type's terminator (`,` or the struct's `}`).
+    fn struct_field(&mut self, i: usize) -> Option<usize> {
+        let owner = match self.scopes.last() {
+            Some(Scope {
+                kind: ScopeKind::Struct(name),
+                depth,
+            }) if *depth == self.depth => name.clone(),
+            _ => return None,
+        };
+        let name = self.ctx.text(i);
+        if !is_name(name) || self.ctx.text(i + 1) != ":" {
+            return None;
+        }
+        let prev = if i == 0 { "" } else { self.ctx.text(i - 1) };
+        if !matches!(prev, "{" | "," | "pub" | ")" | "]") {
+            return None;
+        }
+        // The type runs to the next top-level `,` or the struct's `}`.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < self.ctx.code_len() {
+            match self.ctx.text(j) {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                "}" => break,
+                "," if depth <= 0 => break,
+                _ => {}
+            }
+            if depth < 0 {
+                break;
+            }
+            j += 1;
+        }
+        let ty = (i + 2..j)
+            .map(|k| self.ctx.text(k))
+            .collect::<Vec<_>>()
+            .join(" ");
+        self.out.fields.push(FieldItem {
+            owner,
+            name: name.to_string(),
+            ty,
+        });
+        Some(j)
+    }
+
+    /// `fn name [<…>] ( params ) [-> ret] [where …] { body }`.
+    fn item_fn(&mut self, i: usize) -> usize {
+        let name_tok = self.ctx.text(i + 1);
+        if !is_name(name_tok) {
+            return i + 1; // `fn(u32) -> u32` pointer type
+        }
+        let j = self.skip_generics(i + 2);
+        if self.ctx.text(j) != "(" {
+            return i + 2;
+        }
+        let close = self.matching_paren(j);
+        let params = self.parse_params(j + 1, close);
+        let after = self.find_block_open_or_semi(close + 1);
+        let (body, next) = match after {
+            Some((open, true)) => {
+                let end = self.ctx.matching_brace(open);
+                (Some((open, end)), open + 1)
+            }
+            Some((semi, false)) => (None, semi + 1),
+            None => (None, self.ctx.code_len()),
+        };
+        let owner = self.scopes.iter().rev().find_map(|s| match &s.kind {
+            ScopeKind::Owner(n) => Some(n.clone()),
+            _ => None,
+        });
+        let modules = self
+            .scopes
+            .iter()
+            .filter_map(|s| match &s.kind {
+                ScopeKind::Module(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        self.out.fns.push(FnItem {
+            name: name_tok.to_string(),
+            owner,
+            modules,
+            line: self.ctx.code_tok(i).line,
+            params,
+            body,
+            is_test: self.ctx.is_test(i),
+        });
+        if body.is_some() {
+            // Keep walking *inside* the body (nested items, scope depth).
+            self.depth += 1;
+        }
+        next
+    }
+
+    /// Splits `params` between code indices `[start, close)` on
+    /// top-level commas and reduces each to a [`Param`].
+    fn parse_params(&self, start: usize, close: usize) -> Vec<Param> {
+        let mut params = Vec::new();
+        let mut depth = 0i32;
+        let mut seg = start;
+        let mut j = start;
+        while j <= close {
+            let t = self.ctx.text(j);
+            let boundary = j == close || (t == "," && depth == 0);
+            if boundary {
+                if let Some(p) = self.parse_param(seg, j) {
+                    params.push(p);
+                }
+                seg = j + 1;
+            } else {
+                match t {
+                    "(" | "[" | "{" | "<" => depth += 1,
+                    ")" | "]" | "}" | ">" => depth -= 1,
+                    "<<" => depth += 2,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        params
+    }
+
+    /// One parameter in `[start, end)`: `self` forms, or `pattern : ty`.
+    fn parse_param(&self, start: usize, end: usize) -> Option<Param> {
+        if start >= end {
+            return None;
+        }
+        // Locate the top-level `:` (absent for `self` receivers).
+        let mut depth = 0i32;
+        let mut colon = None;
+        for j in start..end {
+            match self.ctx.text(j) {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                ":" if depth == 0 => {
+                    colon = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let (name_end, ty) = match colon {
+            Some(c) => {
+                let ty = (c + 1..end)
+                    .map(|j| self.ctx.text(j))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                (c, ty)
+            }
+            None => {
+                // Receiver: `self`, `&self`, `&mut self`, `&'a self`.
+                let is_recv = (start..end).any(|j| self.ctx.text(j) == "self");
+                if !is_recv {
+                    return None;
+                }
+                let ty = (start..end.saturating_sub(1))
+                    .map(|j| self.ctx.text(j))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                return Some(Param {
+                    name: "self".to_string(),
+                    ty: if ty.is_empty() { ty } else { ty + " Self" },
+                });
+            }
+        };
+        // The binding name: last ident before the colon (`mut x: T`,
+        // destructuring patterns degrade to their last binding).
+        let name = (start..name_end)
+            .rev()
+            .map(|j| self.ctx.text(j))
+            .find(|t| is_name(t))?;
+        Some(Param {
+            name: name.to_string(),
+            ty,
+        })
+    }
+
+    /// If `i` starts a generic list `<…>`, returns the index just past
+    /// its closing `>`; otherwise returns `i`.
+    fn skip_generics(&self, i: usize) -> usize {
+        if self.ctx.text(i) != "<" {
+            return i;
+        }
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < self.ctx.code_len() {
+            match self.ctx.text(j) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "(" | "{" | ";" if depth <= 0 => return j,
+                _ => {}
+            }
+            if depth <= 0 {
+                return j + 1;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Index of the `)` matching the `(` at `open` (or the last token).
+    fn matching_paren(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        for j in open..self.ctx.code_len() {
+            match self.ctx.text(j) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.ctx.code_len().saturating_sub(1)
+    }
+
+    /// Scans forward from `i` to the next top-level `{`, used for
+    /// headers that may contain a `where` clause.
+    fn find_block_open(&self, i: usize) -> Option<usize> {
+        (i..self.ctx.code_len()).find(|&j| self.ctx.text(j) == "{")
+    }
+
+    /// Scans from `i` for the fn body's `{` or a terminating `;`.
+    /// Returns `(index, is_brace)`.
+    fn find_block_open_or_semi(&self, i: usize) -> Option<(usize, bool)> {
+        for j in i..self.ctx.code_len() {
+            match self.ctx.text(j) {
+                "{" => return Some((j, true)),
+                ";" => return Some((j, false)),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// The implemented type's name within header tokens `[start, end)`:
+    /// the identifier right before the first `<`, else the last
+    /// identifier of the path.
+    fn type_name_in(&self, start: usize, end: usize) -> Option<String> {
+        let mut last = None;
+        for j in start..end {
+            let t = self.ctx.text(j);
+            if t == "<" {
+                break;
+            }
+            if is_name(t) && !matches!(t, "dyn" | "mut") {
+                last = Some(t.to_string());
+            }
+        }
+        last
+    }
+}
+
+/// A plausible item name: starts like an identifier and is not a
+/// keyword that can follow the anchors we match on.
+fn is_name(t: &str) -> bool {
+    let mut chars = t.chars();
+    let head_ok = chars.next().is_some_and(|c| c.is_alphabetic() || c == '_');
+    head_ok
+        && !matches!(
+            t,
+            "fn" | "mod"
+                | "impl"
+                | "trait"
+                | "struct"
+                | "enum"
+                | "union"
+                | "pub"
+                | "where"
+                | "for"
+                | "self"
+                | "Self"
+                | "crate"
+                | "super"
+                | "mut"
+                | "dyn"
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> ParsedFile {
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src);
+        parse(&ctx)
+    }
+
+    #[test]
+    fn free_fn_and_method() {
+        let p = parsed(
+            "fn free(a: u32, b: &mut Vec<u8>) -> u32 { a }\n\
+             struct S { x: u32 }\n\
+             impl S { pub fn m(&self, k: usize) -> u32 { self.x } }",
+        );
+        assert_eq!(p.fns.len(), 2);
+        let free = &p.fns[0];
+        assert_eq!(free.name, "free");
+        assert_eq!(free.owner, None);
+        assert_eq!(free.params.len(), 2);
+        assert_eq!(free.params[0].name, "a");
+        assert!(free.params[1].by_mut_ref());
+        assert_eq!(free.params[1].type_head(), Some("Vec"));
+        let m = &p.fns[1];
+        assert_eq!(m.owner.as_deref(), Some("S"));
+        assert_eq!(m.params[0].name, "self");
+        assert_eq!(m.params[1].name, "k");
+    }
+
+    #[test]
+    fn trait_impls_attach_to_the_implemented_type() {
+        let p = parsed(
+            "impl fmt::Display for Cost { fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) } }",
+        );
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Cost"));
+        assert_eq!(p.fns[0].name, "fmt");
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses() {
+        let p = parsed(
+            "impl<'a, T: Clone> Holder<'a, T> where T: Send { fn get<Q: Into<T>>(&self, q: Q) -> T { self.t.clone() } }",
+        );
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Holder"));
+        assert_eq!(p.fns[0].params.len(), 2);
+    }
+
+    #[test]
+    fn inline_modules_nest() {
+        let p = parsed("mod outer { mod inner { fn deep() {} } fn shallow() {} }");
+        assert_eq!(p.fns[0].modules, ["outer", "inner"]);
+        assert_eq!(p.fns[1].modules, ["outer"]);
+    }
+
+    #[test]
+    fn impl_in_return_position_is_not_an_item() {
+        let p = parsed(
+            "fn mk() -> impl Iterator<Item = u32> { std::iter::empty() }\n\
+             fn after() {}",
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[1].owner, None, "after() must not inherit an owner");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_and_fn_pointer_types() {
+        let p = parsed(
+            "trait T { fn required(&self) -> u32; fn provided(&self) -> u32 { 1 } }\n\
+             fn takes(f: fn(u32) -> u32) -> u32 { f(1) }",
+        );
+        assert_eq!(p.fns.len(), 3);
+        assert_eq!(p.fns[0].body, None);
+        assert!(p.fns[1].body.is_some());
+        assert_eq!(p.fns[0].owner.as_deref(), Some("T"));
+        assert_eq!(p.fns[2].name, "takes");
+        assert_eq!(p.fns[2].params.len(), 1);
+    }
+
+    #[test]
+    fn fields_and_lock_kinds_are_recovered() {
+        let p = parsed(
+            "struct Q { state: Mutex<QueueState>, cv: Condvar }\n\
+             pub struct Cell { pub current: Mutex<Arc<Snapshot>> }\n\
+             struct R { map: RwLock<HashMap<u32, u32>> }\n\
+             struct Plain { n: usize }",
+        );
+        let locks: Vec<(&str, &str, bool)> = p
+            .fields
+            .iter()
+            .filter_map(|f| {
+                f.lock_kind()
+                    .map(|rw| (f.owner.as_str(), f.name.as_str(), rw))
+            })
+            .collect();
+        assert_eq!(
+            locks,
+            [
+                ("Q", "state", false),
+                ("Cell", "current", false),
+                ("R", "map", true),
+            ]
+        );
+        // Non-lock fields are captured too, with their type text.
+        let cv = p.fields.iter().find(|f| f.name == "cv").unwrap();
+        assert_eq!((cv.owner.as_str(), cv.ty.as_str()), ("Q", "Condvar"));
+        assert!(p.types.contains(&"Plain".to_string()));
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_the_innermost_body() {
+        let src = "fn outer() { fn inner() { let x = 1; } }";
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src);
+        let p = parse(&ctx);
+        // Find the code index of `x`.
+        let xi = (0..ctx.code_len()).find(|&i| ctx.text(i) == "x").unwrap();
+        assert_eq!(p.enclosing_fn(xi).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn test_functions_are_flagged() {
+        let p = parsed("fn lib() {}\n#[cfg(test)]\nmod tests { #[test] fn t() { panic!() } }");
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+    }
+
+    #[test]
+    fn arbitrary_garbage_does_not_panic() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl",
+            "impl {",
+            "struct",
+            "mod",
+            "trait X",
+            "fn f(",
+            "impl < { fn g(",
+            "fn f(a:,,) {}",
+            "}}}}{{{{",
+            "fn f<T(>) {}",
+        ] {
+            let _ = parsed(src);
+        }
+    }
+}

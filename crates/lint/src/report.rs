@@ -1,9 +1,11 @@
-//! Finding reporters: a compiler-style text form and a line-oriented
-//! JSON form for tooling.
+//! Finding reporters: a compiler-style text form, a line-oriented JSON
+//! form for tooling, and a minimal SARIF 2.1.0 form for CI artifact
+//! upload.
 
 use std::fmt::Write as _;
 
 use crate::engine::{Finding, Severity};
+use crate::rules;
 
 /// Renders findings like rustc diagnostics, one per line, followed by a
 /// summary line:
@@ -52,6 +54,60 @@ pub fn render_json(findings: &[Finding]) -> String {
     }
     let (errors, warnings) = tally(findings);
     let _ = write!(out, "],\"errors\":{errors},\"warnings\":{warnings}}}");
+    out
+}
+
+/// Renders findings as a minimal SARIF 2.1.0 log: one run, the rule
+/// catalog as `tool.driver.rules`, one `result` per finding with
+/// `level`, `message.text` and a physical location. Enough for CI
+/// annotation upload; no fixes, flows, or fingerprints.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "{\"version\":\"2.1.0\",\
+         \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"runs\":[{\"tool\":{\"driver\":{\"name\":\"apex-lint\",\
+         \"informationUri\":\"crates/lint/RULES.md\",\"rules\":[",
+    );
+    let mut first = true;
+    for (name, summary) in rules::RULES
+        .iter()
+        .map(|r| (r.name, r.summary))
+        .chain(rules::META_RULES.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            escape(name),
+            escape(summary)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match f.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let _ = write!(
+            out,
+            "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\
+             \"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\
+             \"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            escape(f.rule),
+            escape(&f.message),
+            escape(&f.file),
+            f.line.max(1)
+        );
+    }
+    out.push_str("]}]}");
     out
 }
 
@@ -119,6 +175,22 @@ mod tests {
         assert!(js.contains("\"message\":\"a \\\"quoted\\\" problem\""));
         assert!(js.ends_with("\"errors\":1,\"warnings\":1}"));
         assert!(js.starts_with("{\"findings\":["));
+    }
+
+    #[test]
+    fn sarif_has_rules_results_and_levels() {
+        let s = render_sarif(&sample());
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"apex-lint\""));
+        // Catalog + meta rules are all declared.
+        assert!(s.contains("\"id\":\"panic-reachability\""));
+        assert!(s.contains("\"id\":\"stale-allow\""));
+        // Each finding becomes a result with level and location.
+        assert!(s.contains("\"ruleId\":\"no-panic\",\"level\":\"error\""));
+        assert!(s.contains("\"uri\":\"crates/x/src/lib.rs\""));
+        assert!(s.contains("\"startLine\":3"));
+        // It must be self-contained JSON (balanced braces at the ends).
+        assert!(s.starts_with('{') && s.ends_with('}'));
     }
 
     #[test]

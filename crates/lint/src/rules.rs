@@ -1,23 +1,45 @@
 //! The rule catalog.
 //!
-//! Each rule is a token-sequence matcher over one file's code tokens
-//! (comments and string contents never match — see [`crate::lexer`]).
-//! Rules encode the workspace's architectural invariants:
+//! Rules come in two shapes since PR 7: *file* rules match token
+//! sequences (plus the file's parsed item structure) over one file at a
+//! time, and *workspace* rules run whole-program analyses — the call
+//! graph ([`crate::callgraph`]) and the lock-acquisition graph
+//! ([`crate::locks`]) — over every file at once. Comments and string
+//! contents never match (see [`crate::lexer`]). The catalog encodes the
+//! workspace's architectural invariants:
 //!
 //! | rule | invariant |
 //! |------|-----------|
 //! | `cost-io-writes` | `Cost` I/O counters are written only by the storage layer (incl. `storage::block` / `storage::kernels`), the shared executor and the planner's attributed operators |
-//! | `no-panic` | library code neither `.unwrap()`s, `.expect()`s nor `panic!`s |
+//! | `no-panic` | library code neither `.unwrap()`s, `.expect()`s nor `panic!`s (per-site; the serving-root files are covered transitively by `panic-reachability` instead) |
+//! | `panic-reachability` | nothing reachable from the serving roots (`net::server`, `core::serve`, `query::exec`) can panic — `panic!`, `unwrap`, `expect`, or `[…]` indexing |
+//! | `lock-order` | the lock-acquisition graph is cycle-free and nothing blocks while holding two guards |
+//! | `hot-path-alloc` | semijoin kernel bodies never allocate outside `*Scratch` constructors |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
 //! | `no-print` | output macros live in `cli`/`bench` only |
 //! | `no-exit` | `std::process::exit` is the CLI's privilege |
 //! | `pool-discipline` | buffer pools are constructed by `storage` and the batch layer only |
 //!
-//! To add a rule: write a `fn(&FileCtx, &mut Vec<Finding>)`, add a
-//! [`Rule`] entry to [`RULES`], add a triggering and a clean fixture
-//! under `crates/lint/tests/fixtures/`, and document it in `DESIGN.md`.
+//! Suppression hygiene is checked by the engine itself: `bad-suppression`
+//! (malformed or justification-free allows) and `stale-allow` (an allow
+//! that silences nothing), both errors, neither suppressible.
+//!
+//! To add a rule: write the check, add a [`Rule`] entry to [`RULES`],
+//! add triggering / suppressed / clean fixtures under
+//! `crates/lint/tests/fixtures/`, and document it in
+//! `crates/lint/RULES.md` and `DESIGN.md`.
 
-use crate::engine::{FileCtx, Finding, Severity};
+use crate::callgraph;
+use crate::engine::{FileCtx, Finding, Severity, Workspace, WorkspaceFile};
+use crate::locks;
+
+/// How a rule inspects the workspace.
+pub enum Check {
+    /// Runs once per file.
+    File(fn(&WorkspaceFile<'_>, &mut Vec<Finding>)),
+    /// Runs once over the whole workspace.
+    Workspace(fn(&Workspace<'_>, &mut Vec<Finding>)),
+}
 
 /// A named invariant check.
 pub struct Rule {
@@ -28,7 +50,7 @@ pub struct Rule {
     /// Severity of its findings.
     pub severity: Severity,
     /// The matcher.
-    pub check: fn(&FileCtx, &mut Vec<Finding>),
+    pub check: Check,
 }
 
 /// The rule catalog, in report order.
@@ -39,43 +61,80 @@ pub const RULES: &[Rule] = &[
                   only in apex-storage (incl. block/kernels), apex_query::exec and \
                   apex_query::plan",
         severity: Severity::Error,
-        check: cost_io_writes,
+        check: Check::File(cost_io_writes),
     },
     Rule {
         name: "no-panic",
         summary: ".unwrap()/.expect()/panic! are banned in non-test library code \
-                  (cli exempt)",
+                  (cli exempt; the serving-root files are covered by panic-reachability)",
         severity: Severity::Error,
-        check: no_panic,
+        check: Check::File(no_panic),
+    },
+    Rule {
+        name: "panic-reachability",
+        summary: "functions reachable from the serving roots (net::server, core::serve, \
+                  query::exec) must not panic!, unwrap, expect, or index without get",
+        severity: Severity::Error,
+        check: Check::Workspace(callgraph::panic_reachability),
+    },
+    Rule {
+        name: "lock-order",
+        summary: "the Mutex/RwLock acquisition graph must be cycle-free, and nothing may \
+                  block (Condvar::wait, channel recv, accept, socket I/O) holding two guards",
+        severity: Severity::Error,
+        check: Check::Workspace(locks::lock_order),
+    },
+    Rule {
+        name: "hot-path-alloc",
+        summary: "storage::kernels and query::exec semijoin bodies may not allocate \
+                  (Vec::new/with_capacity/push-to-fresh/collect/to_vec/clone) outside \
+                  *Scratch constructors",
+        severity: Severity::Error,
+        check: Check::File(hot_path_alloc),
     },
     Rule {
         name: "forbid-unsafe",
         summary: "every crate root must carry #![forbid(unsafe_code)]",
         severity: Severity::Error,
-        check: forbid_unsafe,
+        check: Check::File(forbid_unsafe),
     },
     Rule {
         name: "no-print",
         summary: "println!/eprintln!/print!/eprint! are banned outside cli and bench",
         severity: Severity::Error,
-        check: no_print,
+        check: Check::File(no_print),
     },
     Rule {
         name: "no-exit",
         summary: "std::process::exit is banned outside cli",
         severity: Severity::Error,
-        check: no_exit,
+        check: Check::File(no_exit),
     },
     Rule {
         name: "pool-discipline",
         summary: "PageCache/BufferManager are constructed only in apex-storage and \
                   apex_query::batch",
         severity: Severity::Error,
-        check: pool_discipline,
+        check: Check::File(pool_discipline),
     },
 ];
 
-fn emit(ctx: &FileCtx, out: &mut Vec<Finding>, i: usize, rule: &'static str, message: String) {
+/// Engine-level hygiene findings that are not catalog rules (and can
+/// therefore never be suppressed): listed for `--list-rules`.
+pub const META_RULES: &[(&str, &str)] = &[
+    (
+        "bad-suppression",
+        "an apex-lint directive that is malformed, names an unknown rule, or carries \
+         no justification",
+    ),
+    (
+        "stale-allow",
+        "an `// apex-lint: allow(…)` that silences nothing — dead allows are holes \
+         invariants can leak through",
+    ),
+];
+
+fn emit(ctx: &FileCtx<'_>, out: &mut Vec<Finding>, i: usize, rule: &'static str, message: String) {
     out.push(Finding {
         file: ctx.rel_path.to_string(),
         line: ctx.code_tok(i).line,
@@ -92,7 +151,8 @@ const IO_FIELDS: &[&str] = &["pages_read", "extent_pairs", "table_probes"];
 /// Assignment operators (a field followed by one of these is a write).
 const ASSIGN_OPS: &[&str] = &["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="];
 
-fn cost_io_writes(ctx: &FileCtx, out: &mut Vec<Finding>) {
+fn cost_io_writes(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
+    let ctx = &file.ctx;
     // The whole storage crate is a permitted writer — that includes the
     // compressed block encoder (`storage::block`) and the semijoin
     // kernels (`storage::kernels`) the executor charges from. The
@@ -126,8 +186,14 @@ fn cost_io_writes(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
-fn no_panic(ctx: &FileCtx, out: &mut Vec<Finding>) {
+fn no_panic(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
+    let ctx = &file.ctx;
     if ctx.crate_dir == "cli" {
+        return;
+    }
+    // The serving-root files get the transitive treatment instead: one
+    // panic-reachability finding per function, not one per site.
+    if callgraph::ROOT_FILES.contains(&ctx.rel_path) {
         return;
     }
     for i in 0..ctx.code_len() {
@@ -160,7 +226,159 @@ fn no_panic(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
-fn forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
+/// Code-token indices belonging to `item`'s own body — nested fn
+/// bodies excluded, since those tokens belong to the nested item.
+fn own_body_tokens(file: &WorkspaceFile<'_>, item: &crate::parse::FnItem) -> Vec<usize> {
+    let Some((open, close)) = item.body else {
+        return Vec::new();
+    };
+    let mut children: Vec<(usize, usize)> = file
+        .parsed
+        .fns
+        .iter()
+        .filter_map(|f| f.body)
+        .filter(|&(o, c)| o > open && c < close)
+        .collect();
+    children.sort_unstable();
+    let mut toks = Vec::new();
+    let mut child = 0usize;
+    let mut i = open;
+    let last = close.min(file.ctx.code_len().saturating_sub(1));
+    while i <= last {
+        while child < children.len() && children[child].0 < i {
+            child += 1;
+        }
+        if child < children.len() && children[child].0 == i {
+            i = children[child].1 + 1;
+            continue;
+        }
+        toks.push(i);
+        i += 1;
+    }
+    toks
+}
+
+fn hot_path_alloc(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
+    let ctx = &file.ctx;
+    let in_kernels = ctx.rel_path == "crates/storage/src/kernels.rs";
+    let in_exec = ctx.rel_path == "crates/query/src/exec.rs";
+    if !in_kernels && !in_exec {
+        return;
+    }
+    for item in &file.parsed.fns {
+        if item.is_test {
+            continue;
+        }
+        let owner = item.owner.as_deref().unwrap_or("");
+        // Scratch constructors are *where* the buffers get allocated;
+        // everything else on the hot path reuses them.
+        if owner.ends_with("Scratch") {
+            continue;
+        }
+        // In exec.rs the hot path is the semijoin/join operators; other
+        // operators and plumbing are covered by the per-site rules.
+        if in_exec && !owner.contains("Semijoin") && !owner.contains("Join") {
+            continue;
+        }
+        for i in own_body_tokens(file, item) {
+            if ctx.is_test(i) {
+                continue;
+            }
+            let t = ctx.text(i);
+            if t == "Vec"
+                && ctx.text(i + 1) == "::"
+                && (ctx.ident_is(i + 2, "new") || ctx.ident_is(i + 2, "with_capacity"))
+            {
+                emit(
+                    ctx,
+                    out,
+                    i,
+                    "hot-path-alloc",
+                    format!(
+                        "`Vec::{}` allocates on the semijoin hot path; take a *Scratch \
+                         buffer instead",
+                        ctx.text(i + 2)
+                    ),
+                );
+            } else if t == "vec" && ctx.text(i + 1) == "!" {
+                emit(
+                    ctx,
+                    out,
+                    i,
+                    "hot-path-alloc",
+                    "`vec![…]` allocates on the semijoin hot path; take a *Scratch buffer \
+                     instead"
+                        .to_string(),
+                );
+            } else if t == "." && ctx.text(i + 2) == "(" {
+                let m = ctx.text(i + 1);
+                match m {
+                    "collect" | "to_vec" | "clone" => emit(
+                        ctx,
+                        out,
+                        i + 1,
+                        "hot-path-alloc",
+                        format!(
+                            "`.{m}()` allocates on the semijoin hot path; write into a \
+                             reused *Scratch buffer instead"
+                        ),
+                    ),
+                    "push" | "extend" if !scratch_receiver(ctx, item, i) => emit(
+                        ctx,
+                        out,
+                        i + 1,
+                        "hot-path-alloc",
+                        format!(
+                            "`.{m}()` into a non-scratch collection allocates on the \
+                             semijoin hot path; push into a *Scratch buffer or a &mut \
+                             output parameter"
+                        ),
+                    ),
+                    _ => {}
+                }
+            } else if t == "." && ctx.ident_is(i + 1, "collect") && ctx.text(i + 2) == "::" {
+                // Turbofish form: `.collect::<Vec<_>>()`.
+                emit(
+                    ctx,
+                    out,
+                    i + 1,
+                    "hot-path-alloc",
+                    "`.collect::<…>()` allocates on the semijoin hot path; write into a \
+                     reused *Scratch buffer instead"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// True when the receiver chain of `<chain> . push/extend (` at dot `i`
+/// is rooted in a scratch buffer: the literal `scratch`, `self` inside
+/// a `*Scratch` impl, or a `&mut` parameter of the enclosing fn.
+fn scratch_receiver(ctx: &FileCtx<'_>, item: &crate::parse::FnItem, i: usize) -> bool {
+    // Walk to the root of the `.`-separated receiver chain.
+    let mut j = i;
+    while j >= 2 && ctx.is_ident(j - 1) && ctx.text(j - 2) == "." {
+        j -= 2;
+    }
+    if j == 0 || !ctx.is_ident(j - 1) {
+        return false; // `foo().buf.push(…)` — unresolvable root
+    }
+    let root = ctx.text(j - 1);
+    if root == "scratch" {
+        return true;
+    }
+    if root == "self" {
+        return item
+            .owner
+            .as_deref()
+            .is_some_and(|o| o.ends_with("Scratch"));
+    }
+    item.params.iter().any(|p| p.name == root && p.by_mut_ref())
+}
+
+fn forbid_unsafe(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
+    let ctx = &file.ctx;
     if !ctx.is_crate_root {
         return;
     }
@@ -193,7 +411,8 @@ fn forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
 /// Crates whose job is terminal output.
 const PRINT_CRATES: &[&str] = &["cli", "bench"];
 
-fn no_print(ctx: &FileCtx, out: &mut Vec<Finding>) {
+fn no_print(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
+    let ctx = &file.ctx;
     if PRINT_CRATES.contains(&ctx.crate_dir) {
         return;
     }
@@ -214,7 +433,8 @@ fn no_print(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
-fn no_exit(ctx: &FileCtx, out: &mut Vec<Finding>) {
+fn no_exit(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
+    let ctx = &file.ctx;
     if ctx.crate_dir == "cli" {
         return;
     }
@@ -237,7 +457,8 @@ fn no_exit(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
-fn pool_discipline(ctx: &FileCtx, out: &mut Vec<Finding>) {
+fn pool_discipline(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
+    let ctx = &file.ctx;
     if ctx.crate_dir == "storage" || ctx.rel_path == "crates/query/src/batch.rs" {
         return;
     }

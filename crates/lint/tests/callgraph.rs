@@ -1,0 +1,160 @@
+//! Unit tests for the workspace call graph on synthetic crates: typed
+//! vs fallback resolution, local/ctor/field-chain typing, leaf-crate
+//! exclusion, panic-site extraction, and the assert exemption.
+
+use apex_lint::callgraph::CallGraph;
+use apex_lint::Workspace;
+
+fn build(files: &[(&str, &str)]) -> CallGraph {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|&(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    let ws = Workspace::from_sources(&sources);
+    CallGraph::build(&ws)
+}
+
+#[test]
+fn self_calls_resolve_to_the_enclosing_impl() {
+    let g = build(&[(
+        "crates/core/src/a.rs",
+        "pub struct Q { n: u32 }\n\
+         impl Q {\n\
+             pub fn step(&self) -> u32 { self.incr() }\n\
+             fn incr(&self) -> u32 { self.n + 1 }\n\
+         }\n\
+         pub struct R;\n\
+         impl R { pub fn incr(&self) -> u32 { 0 } }\n",
+    )]);
+    let step = g.fn_id("Q::step").unwrap();
+    let q_incr = g.fn_id("Q::incr").unwrap();
+    let edges = &g.edges[step];
+    assert_eq!(edges.len(), 1, "R::incr must not be a candidate");
+    assert_eq!(edges[0].callee, q_incr);
+    assert!(!edges[0].fallback);
+}
+
+#[test]
+fn untyped_receivers_fall_back_to_all_methods_and_are_flagged() {
+    let g = build(&[(
+        "crates/core/src/a.rs",
+        "pub struct Q;\n\
+         impl Q { pub fn poke(&self) -> u32 { 1 } }\n\
+         pub struct R;\n\
+         impl R { pub fn poke(&self) -> u32 { 2 } }\n\
+         pub fn run(h: &Handle) -> u32 { h.poke() }\n",
+    )]);
+    let run = g.fn_id("run").unwrap();
+    // `Handle` is not a workspace type, so both `poke`s are candidates —
+    // but every such edge is marked as the over-approximation it is.
+    assert_eq!(g.edges[run].len(), 2);
+    assert!(g.edges[run].iter().all(|e| e.fallback));
+    // And reachability refuses to walk them.
+    let reach = g.reach_from(&[run]);
+    assert_eq!(reach.len(), 1);
+    assert!(reach.contains_key(&run));
+}
+
+#[test]
+fn let_bound_locals_and_ctor_results_type_their_receivers() {
+    let g = build(&[(
+        "crates/core/src/a.rs",
+        "pub struct Q;\n\
+         impl Q {\n\
+             pub fn new() -> Q { Q }\n\
+             pub fn poke(&self) -> u32 { 1 }\n\
+         }\n\
+         pub struct R;\n\
+         impl R { pub fn poke(&self) -> u32 { 2 } }\n\
+         pub fn via_local() -> u32 {\n\
+             let q = Q::new();\n\
+             q.poke()\n\
+         }\n\
+         pub fn via_ctor() -> u32 { Q::new().poke() }\n",
+    )]);
+    let q_new = g.fn_id("Q::new").unwrap();
+    let q_poke = g.fn_id("Q::poke").unwrap();
+    for caller in ["via_local", "via_ctor"] {
+        let id = g.fn_id(caller).unwrap();
+        let mut callees: Vec<usize> = g.edges[id].iter().map(|e| e.callee).collect();
+        callees.sort_unstable();
+        let mut want = vec![q_new, q_poke];
+        want.sort_unstable();
+        assert_eq!(callees, want, "{caller} should hit Q only");
+        assert!(g.edges[id].iter().all(|e| !e.fallback), "{caller}");
+    }
+}
+
+#[test]
+fn field_chains_walk_declared_field_types() {
+    let g = build(&[(
+        "crates/core/src/a.rs",
+        "pub struct Inner;\n\
+         impl Inner { pub fn fire(&self) -> u32 { 9 } }\n\
+         pub struct Outer { inner: Inner }\n\
+         impl Outer { pub fn go(&self) -> u32 { self.inner.fire() } }\n\
+         pub struct Decoy;\n\
+         impl Decoy { pub fn fire(&self) -> u32 { 0 } }\n",
+    )]);
+    let go = g.fn_id("Outer::go").unwrap();
+    let inner_fire = g.fn_id("Inner::fire").unwrap();
+    let edges = &g.edges[go];
+    assert_eq!(edges.len(), 1, "Decoy::fire must not be a candidate");
+    assert_eq!(edges[0].callee, inner_fire);
+    assert!(!edges[0].fallback);
+}
+
+#[test]
+fn leaf_crates_are_not_cross_crate_candidates() {
+    let g = build(&[
+        (
+            "crates/core/src/a.rs",
+            "pub fn caller() -> u32 { helper() }\npub fn helper() -> u32 { 1 }\n",
+        ),
+        ("crates/cli/src/main.rs", "pub fn helper() -> u32 { 2 }\n"),
+    ]);
+    let caller = g.fn_id("caller").unwrap();
+    let core_helper = g.fn_id("core::a::helper").unwrap();
+    let callees: Vec<usize> = g.edges[caller].iter().map(|e| e.callee).collect();
+    assert_eq!(callees, [core_helper]);
+}
+
+#[test]
+fn panic_sites_are_extracted_and_asserts_are_exempt() {
+    let g = build(&[(
+        "crates/core/src/p.rs",
+        "pub fn sites(xs: &[u32], r: Result<u32, ()>) -> u32 {\n\
+             debug_assert!(xs[0] > 0);\n\
+             let a = xs[1];\n\
+             let b = r.unwrap();\n\
+             a + b\n\
+         }\n",
+    )]);
+    let id = g.fn_id("sites").unwrap();
+    let whats: Vec<&str> = g.panic_sites[id].iter().map(|s| s.what).collect();
+    // The indexing inside debug_assert! is the asserted contract, not a
+    // panic hazard; the bare xs[1] and the unwrap are.
+    assert_eq!(whats, ["indexing", ".unwrap()"]);
+}
+
+#[test]
+fn qualified_free_calls_resolve_across_files() {
+    let g = build(&[
+        (
+            "crates/net/src/server.rs",
+            "pub fn serve(v: u32) -> u32 { handler::decode(v) }\n",
+        ),
+        (
+            "crates/net/src/handler.rs",
+            "pub fn decode(v: u32) -> u32 { v + 1 }\n",
+        ),
+    ]);
+    let serve = g.fn_id("net::server::serve").unwrap();
+    let decode = g.fn_id("net::handler::decode").unwrap();
+    let reach = g.reach_from(&[serve]);
+    assert_eq!(reach.get(&decode), Some(&serve));
+    assert_eq!(
+        g.chain(&reach, decode),
+        "net::server::serve -> net::handler::decode"
+    );
+}

@@ -1,0 +1,20 @@
+//! Allocation outside the *Scratch constructor on the kernel hot path.
+
+pub struct MergeScratch {
+    out: Vec<u32>,
+}
+
+impl MergeScratch {
+    pub fn new() -> Self {
+        MergeScratch { out: Vec::new() }
+    }
+}
+
+pub fn merge(xs: &[u32], scratch: &mut MergeScratch, acc: &mut Vec<u32>) -> usize {
+    let doubled = xs.to_vec();
+    let mut tmp = Vec::new();
+    tmp.push(doubled.len() as u32);
+    scratch.out.push(xs.len() as u32);
+    acc.extend(tmp.iter().copied());
+    scratch.out.len()
+}

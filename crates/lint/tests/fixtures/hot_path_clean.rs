@@ -1,0 +1,23 @@
+//! The disciplined shape: buffers come in from scratch or &mut params,
+//! and the one real allocation lives in the *Scratch constructor.
+
+pub struct MergeScratch {
+    out: Vec<u32>,
+}
+
+impl MergeScratch {
+    pub fn new() -> Self {
+        MergeScratch {
+            out: Vec::with_capacity(64),
+        }
+    }
+}
+
+pub fn merge(xs: &[u32], scratch: &mut MergeScratch, acc: &mut Vec<u32>) -> usize {
+    scratch.out.clear();
+    for &x in xs {
+        scratch.out.push(x);
+    }
+    acc.extend(scratch.out.iter().copied());
+    scratch.out.len()
+}

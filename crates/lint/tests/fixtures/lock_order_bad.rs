@@ -1,0 +1,29 @@
+//! Opposite acquisition orders plus blocking under two guards.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+        0
+    }
+
+    pub fn backward(&self) -> u32 {
+        let _gb = self.b.lock();
+        let _ga = self.a.lock();
+        1
+    }
+
+    pub fn drain(&self) -> u32 {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        2
+    }
+}

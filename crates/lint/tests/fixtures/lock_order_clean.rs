@@ -1,0 +1,28 @@
+//! Consistent acquisition order and blocking under at most one guard.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+        0
+    }
+
+    pub fn also_forward(&self) -> u32 {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock();
+        1
+    }
+
+    pub fn wait_one(&self) -> u32 {
+        let _ga = self.a.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        2
+    }
+}

@@ -1,0 +1,23 @@
+//! The cycle finding anchors at the first edge of its canonical
+//! rotation; a justified allow on that line silences it.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let _ga = self.a.lock();
+        let _gb = self.b.lock(); // apex-lint: allow(lock-order): startup-only path, single-threaded by construction
+        0
+    }
+
+    pub fn backward(&self) -> u32 {
+        let _gb = self.b.lock();
+        let _ga = self.a.lock();
+        1
+    }
+}

@@ -1,0 +1,13 @@
+//! Reached from the serving root: `decode` can panic via indexing.
+
+pub fn decode(v: u32) -> u32 {
+    let table = [10u32, 20, 30];
+    table[v as usize]
+}
+
+/// Nothing calls this, so its panic site is the per-site rules'
+/// business, not reachability's.
+pub fn orphan(v: u32) -> u32 {
+    let table = [1u32];
+    table[v as usize]
+}

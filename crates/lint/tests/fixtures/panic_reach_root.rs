@@ -1,0 +1,6 @@
+//! Serving-root fixture: linted as `crates/net/src/server.rs`, every
+//! non-test fn here is a reachability root.
+
+pub fn serve(v: u32) -> u32 {
+    handler::decode(v)
+}

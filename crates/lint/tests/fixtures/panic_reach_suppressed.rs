@@ -1,0 +1,8 @@
+//! Same shape as the bad fixture, with a justified fn-level allow on
+//! the line above the `fn` — one comment covers every site inside.
+
+// apex-lint: allow(panic-reachability): v is range-checked at the wire boundary
+pub fn decode(v: u32) -> u32 {
+    let table = [10u32, 20, 30];
+    table[v as usize]
+}

@@ -1,0 +1,124 @@
+//! The analyzer must never panic, whatever it is fed: arbitrary bytes
+//! (lexer robustness) and Rust-ish token soup (parser/call-graph/lock
+//! walker robustness, since random bytes rarely lex into deep item
+//! structure). The fixed paths route the soup through the workspace
+//! rules too — server.rs makes everything a serving root, kernels.rs
+//! arms the allocation rule.
+
+use proptest::prelude::*;
+
+/// Tokens weighted toward the constructs the parser and the analyses
+/// actually dispatch on: item keywords, brace/paren soup, lock verbs,
+/// panic sites, suppression comments, and half-finished literals.
+const TOKENS: &[&str] = &[
+    "fn",
+    "f",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "<",
+    ">",
+    ";",
+    ",",
+    ":",
+    "::",
+    ".",
+    "=",
+    "!",
+    "#",
+    "&",
+    "mut",
+    "self",
+    "Self",
+    "let",
+    "impl",
+    "struct",
+    "enum",
+    "trait",
+    "mod",
+    "pub",
+    "where",
+    "for",
+    "match",
+    "if",
+    "else",
+    "loop",
+    "test",
+    "cfg",
+    "S",
+    "Q",
+    "x",
+    "y",
+    "scratch",
+    "Mutex",
+    "RwLock",
+    "Arc",
+    "Vec",
+    "new",
+    "lock",
+    "read",
+    "write",
+    "drop",
+    "unwrap",
+    "expect",
+    "panic",
+    "push",
+    "extend",
+    "collect",
+    "to_vec",
+    "clone",
+    "recv",
+    "wait",
+    "sleep",
+    "join",
+    "debug_assert",
+    "0",
+    "1u8",
+    "b'a'",
+    "'a'",
+    "'static",
+    "\"s",
+    "\"done\"",
+    "// apex-lint:",
+    "// apex-lint: allow(no-panic): x",
+    "/*",
+    "r#\"",
+    "->",
+    "=>",
+    "..",
+    "..=",
+    "<<",
+    ">>",
+];
+
+proptest! {
+    #[test]
+    fn lint_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..400usize),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = apex_lint::lint_str("crates/net/src/server.rs", &src);
+    }
+
+    #[test]
+    fn lint_never_panics_on_token_soup(
+        picks in proptest::collection::vec(0usize..TOKENS.len(), 0..150usize),
+        newlines in proptest::collection::vec(0usize..8usize, 0..150usize),
+    ) {
+        let mut src = String::new();
+        for (k, &p) in picks.iter().enumerate() {
+            src.push_str(TOKENS[p]);
+            // Sprinkle newlines so line comments sometimes terminate.
+            if newlines.get(k).copied().unwrap_or(1) == 0 {
+                src.push('\n');
+            } else {
+                src.push(' ');
+            }
+        }
+        let _ = apex_lint::lint_str("crates/storage/src/kernels.rs", &src);
+        let _ = apex_lint::lint_str("crates/query/src/exec.rs", &src);
+    }
+}

@@ -486,7 +486,11 @@ fn read_polling(stream: &mut TcpStream, shared: &Shared) -> Frame {
     loop {
         if buf.len() >= need {
             if !have_len {
-                let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+                let head: [u8; 4] = match buf.get(..4).and_then(|b| b.try_into().ok()) {
+                    Some(h) => h,
+                    None => return Frame::Done, // can't occur: buf.len() >= need == 4
+                };
+                let len = u32::from_le_bytes(head) as usize;
                 if len > shared.cfg.max_frame {
                     return Frame::Done; // oversized: close the connection
                 }
@@ -494,16 +498,25 @@ fn read_polling(stream: &mut TcpStream, shared: &Shared) -> Frame {
                 have_len = true;
                 continue;
             }
-            return match Message::decode(&buf[4..need]) {
+            let Some(body) = buf.get(4..need) else {
+                return Frame::Done; // can't occur: buf.len() >= need
+            };
+            return match Message::decode(body) {
                 Ok(msg) => Frame::Message(msg),
                 Err(_) => Frame::Done,
             };
         }
         let mut chunk = [0u8; 4096];
         let want = (need - buf.len()).min(chunk.len());
-        match io::Read::read(stream, &mut chunk[..want]) {
+        let Some(dst) = chunk.get_mut(..want) else {
+            return Frame::Done; // can't occur: want ≤ chunk.len()
+        };
+        match io::Read::read(stream, dst) {
             Ok(0) => return Frame::Done, // EOF (mid-frame ⇒ truncated; same exit)
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => match chunk.get(..n) {
+                Some(read) => buf.extend_from_slice(read),
+                None => return Frame::Done, // can't occur: n ≤ want
+            },
             Err(e)
                 if matches!(
                     e.kind(),

@@ -233,30 +233,34 @@ impl<'a> Cursor<'a> {
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
-        let end = self
-            .off
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
+        let end = self.off.checked_add(n).ok_or(WireError::Malformed(what))?;
+        let s = self
+            .buf
+            .get(self.off..end)
             .ok_or(WireError::Malformed(what))?;
-        let s = &self.buf[self.off..end];
         self.off = end;
         Ok(s)
     }
 
     fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
-        Ok(self.take(1, what)?[0])
+        let b = self.take(1, what)?;
+        b.first().copied().ok_or(WireError::Malformed(what))
     }
 
     fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4, what)?
+            .try_into()
+            .map_err(|_| WireError::Malformed(what))?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
-        let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self
+            .take(8, what)?
+            .try_into()
+            .map_err(|_| WireError::Malformed(what))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn finish(self) -> Result<(), WireError> {

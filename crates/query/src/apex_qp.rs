@@ -187,6 +187,7 @@ impl<'a> ApexProcessor<'a> {
     }
 
     /// Charges the first visit of class node `x`'s page-packed record.
+    // apex-lint: allow(panic-reachability): `touched` and `node_offsets` are sized n and n+1 over the same class-node count
     fn nav_node(&self, x: XNodeId, touched: &mut [bool], ctx: &mut ExecContext<'_>) {
         let i = x.0 as usize;
         if !touched[i] {

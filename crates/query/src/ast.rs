@@ -47,12 +47,11 @@ impl Query {
             .ok_or_else(|| format!("query must start with `//`: {input}"))?;
 
         // Optional trailing [text() = "value"].
-        let (path_part, value) = match rest.find('[') {
+        let (path_part, value) = match rest.split_once('[') {
             None => (rest, None),
-            Some(i) => {
-                let pred = rest[i..]
-                    .strip_prefix('[')
-                    .and_then(|p| p.strip_suffix(']'))
+            Some((path, pred)) => {
+                let pred = pred
+                    .strip_suffix(']')
                     .ok_or_else(|| format!("unterminated predicate in {input}"))?;
                 let v = pred
                     .trim()
@@ -67,7 +66,7 @@ impl Query {
                     .strip_prefix('"')
                     .and_then(|v| v.strip_suffix('"'))
                     .unwrap_or(v);
-                (&rest[..i], Some(v.to_string()))
+                (path, Some(v.to_string()))
             }
         };
 
@@ -77,23 +76,25 @@ impl Query {
         };
 
         // `//` in the middle → QTYPE2 (two single labels, no value).
-        let groups: Vec<&str> = path_part.split("//").collect();
-        if groups.len() == 2 {
+        if let Some((first, last)) = path_part.split_once("//") {
+            if last.contains("//") {
+                return Err(format!("at most one inner `//` is supported: {input}"));
+            }
             if value.is_some() {
                 return Err(format!("`//a//b` cannot carry a value predicate: {input}"));
             }
-            if groups.iter().any(|s| s.contains('/') || s.contains("=>")) {
+            if [first, last]
+                .iter()
+                .any(|s| s.contains('/') || s.contains("=>"))
+            {
                 return Err(format!(
                     "only `//a//b` ancestor/descendant queries are supported: {input}"
                 ));
             }
             return Ok(Query::AncestorDescendant {
-                first: lookup(groups[0])?,
-                last: lookup(groups[1])?,
+                first: lookup(first)?,
+                last: lookup(last)?,
             });
-        }
-        if groups.len() > 2 {
-            return Err(format!("at most one inner `//` is supported: {input}"));
         }
 
         // QTYPE1/QTYPE3: `=>` is just a step in the graph encoding.

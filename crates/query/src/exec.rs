@@ -339,6 +339,7 @@ impl Semijoin<'_> {
             cost.extent_pairs += report.pairs_read as u64;
             cost.join_work += report.work as u64;
             cost.join_output += scratch.semi.out.len() as u64;
+            // apex-lint: allow(hot-path-alloc): one copy per run hands the caller an owned result without dropping the scratch buffer's capacity
             EdgeSet::from_sorted(scratch.semi.out.clone())
         })
     }

@@ -203,13 +203,14 @@ pub fn build_report(
             .fold((0u64, 0u64), |(w, p), e| (w + e.1, p + e.2));
         let b = before.get(kind);
         let a = after.get(kind);
-        let mut aw = 0u64;
-        for i in 0..8 {
-            if i != 5 {
-                aw += a.scalars[i] - b.scalars[i];
+        let (mut aw, mut ap) = (0u64, 0u64);
+        for (i, (&av, &bv)) in a.scalars.iter().zip(&b.scalars).enumerate() {
+            if i == 5 {
+                ap = av - bv; // slot 5 is pages_read: pages, not work
+            } else {
+                aw += av - bv;
             }
         }
-        let ap = a.scalars[5] - b.scalars[5];
         if pw | pp | aw | ap != 0 {
             forecasts.push(OpForecast {
                 kind,

@@ -140,6 +140,7 @@ impl BlockExtent {
         bx
     }
 
+    // apex-lint: allow(panic-reachability): first < end <= pairs.len() by the encoder's block walk
     fn close_block(&mut self, pairs: &[EdgePair], first: usize, end: usize, start: usize) {
         debug_assert!(end > first);
         self.headers.push(BlockHeader {

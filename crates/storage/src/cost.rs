@@ -124,6 +124,7 @@ pub struct OpBreakdown {
 
 impl OpBreakdown {
     /// Records `delta` (and one invocation if `invoked`) against `kind`.
+    // apex-lint: allow(panic-reachability): kind.idx() enumerates the 10 OpKind variants; per_op is sized to match
     pub fn record(&mut self, kind: OpKind, invoked: bool, delta: [u64; 8]) {
         let slot = &mut self.per_op[kind.idx()];
         if invoked {
@@ -135,6 +136,7 @@ impl OpBreakdown {
     }
 
     /// The accumulated cost of one operator kind.
+    // apex-lint: allow(panic-reachability): kind.idx() enumerates the 10 OpKind variants; per_op is sized to match
     pub fn get(&self, kind: OpKind) -> &OpCost {
         &self.per_op[kind.idx()]
     }

@@ -63,7 +63,8 @@ impl DataTable {
         self.entries
             .binary_search_by_key(&nid, |(n, _)| *n)
             .ok()
-            .map(|i| self.entries[i].1.as_ref())
+            .and_then(|i| self.entries.get(i))
+            .map(|(_, v)| v.as_ref())
     }
 
     /// Cost-accounted probe: does `nid` carry exactly `expected`?

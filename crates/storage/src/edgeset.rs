@@ -402,6 +402,7 @@ impl FromIterator<EdgePair> for EdgeSet {
     }
 }
 
+// apex-lint: allow(panic-reachability): i and j are bounded by the merge loop's own length guards
 fn merge_union(a: &[EdgePair], b: &[EdgePair], out: &mut Vec<EdgePair>) {
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {

@@ -187,6 +187,7 @@ pub fn semijoin_into(
     }
 }
 
+// apex-lint: allow(panic-reachability): ends[ei] is guarded by ei < ends.len() on every probe
 fn merge_kernel(extent: &EdgeSet, ends: &[NodeId], scratch: &mut SemijoinScratch) -> KernelReport {
     let bx = extent.blocks();
     scratch.blocks.extend(0..bx.num_blocks() as u32);
@@ -213,6 +214,7 @@ fn merge_kernel(extent: &EdgeSet, ends: &[NodeId], scratch: &mut SemijoinScratch
 
 /// Galloping lower bound: first index `i >= lo` with
 /// `pairs[i].parent >= target`, counting comparisons into `work`.
+// apex-lint: allow(panic-reachability): hi/base+half stay inside [lo, n) by the gallop/binary-search bracket invariant
 fn gallop_lower_bound(pairs: &[EdgePair], lo: usize, target: NodeId, work: &mut usize) -> usize {
     let n = pairs.len();
     let mut step = 1usize;
@@ -248,6 +250,7 @@ fn gallop_lower_bound(pairs: &[EdgePair], lo: usize, target: NodeId, work: &mut 
     base
 }
 
+// apex-lint: allow(panic-reachability): i < pairs.len() is checked before every pairs[i] read
 fn gallop_range(
     pairs: &[EdgePair],
     ends: &[NodeId],
@@ -278,6 +281,7 @@ fn gallop_kernel(extent: &EdgeSet, ends: &[NodeId], scratch: &mut SemijoinScratc
     KernelReport { work, pairs_read }
 }
 
+// apex-lint: allow(panic-reachability): block header first/count ranges are constructed from this extent's own pairs in close_block
 fn block_skip_kernel(
     extent: &EdgeSet,
     ends: &[NodeId],
@@ -357,6 +361,7 @@ pub fn reverse_semijoin_into(
 /// Collects into `blocks` the indices of blocks whose parent range
 /// intersects `ends` — the blocks a probe-style kernel faults.
 /// Returns the total pairs resident in those blocks.
+// apex-lint: allow(panic-reachability): ends[ei] is guarded by ei < ends.len() on every probe
 fn candidate_blocks(bx: &BlockExtent, ends: &[NodeId], blocks: &mut Vec<u32>) -> usize {
     let mut pairs_read = 0usize;
     let mut ei = 0usize;
