@@ -94,6 +94,19 @@ lint_selfcheck() {
     echo "lint_selfcheck: reports in results/apex-lint.{sarif,json}"
 }
 
+# The crash-recovery suite is the durability gate: three fixed-seed
+# byte-offset sweeps (270 distinct crash points across append /
+# checkpoint / rename traffic) plus named-site kills, golden snapshot
+# corruption, and crash-during-recovery re-entry. Release mode under a
+# hard timeout — recovery that converges but crawls is also a failure.
+recovery_smoke() {
+    timeout 300 cargo test --release --offline -p apex-suite \
+        --test crash_recovery --quiet
+    timeout 120 cargo test --release --offline -p apex-suite \
+        --test wal_props --quiet
+    echo "recovery_smoke: crash sweeps + WAL frame properties green"
+}
+
 # The network load generator is the serving smoke test: it drives a
 # real apex-net socket server closed- and open-loop while the refresher
 # swaps index generations underneath, then drains and *asserts* the
@@ -111,6 +124,7 @@ run cargo test --offline --workspace --quiet
 run kernel_smoke
 run plan_smoke
 run net_smoke
+run recovery_smoke
 run stress
 run cargo clippy --offline --workspace --all-targets -- "${CLIPPY_EXTRA[@]}" -D warnings
 run cargo run --release --offline --quiet -p apex-lint -- --root .

@@ -1,0 +1,300 @@
+//! Recovery microbenchmark: how fast does the durable write path come
+//! back, and what does staying durable cost while serving?
+//!
+//! For each dataset at the current scale, a deterministic driver logs a
+//! drifting query workload (with periodic refines, like the serving
+//! loop) into a fresh WAL directory and then measures:
+//!
+//! * **replay** — recovery time with checkpoints disabled, at several
+//!   workload lengths: the WAL-tail replay rate in MB/s and records/s,
+//!   and how recovery wall time grows with log length.
+//! * **checkpointed** — the same workload with generation-tagged
+//!   snapshots at a fixed swap cadence: recovery now loads the newest
+//!   verified snapshot and replays only the tail, and every checkpoint's
+//!   wall time under live traffic is recorded (mean/max).
+//!
+//! Every recovery is sanity-checked extent-equivalent against the live
+//! index the driver ended with before its row is reported.
+//!
+//! ```bash
+//! cargo run --release --bin recovery
+//! cargo run --release --bin recovery -- --scale paper --seed 7
+//! ```
+//!
+//! Writes `BENCH_recovery.json`.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use apex::recover::{encode_snapshot, recover, RecoverOptions};
+use apex::wal::{CrashPlan, DurabilityConfig, Wal, WalError};
+use apex::{extent_equivalent, Apex, RefreshPolicy, WorkloadMonitor};
+use apex_bench::report::{BenchReport, Json};
+use apex_bench::{base_seed, Scale};
+use apex_query::stats::millis;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlgraph::{LabelPath, NodeId, XmlGraph};
+
+const CAPACITY: usize = 256;
+const MIN_SUP: f64 = 0.05;
+const REFRESH_EVERY: usize = 100;
+const CHECKPOINT_SWAPS: u64 = 2;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("apex-bench-rec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Random existing label paths (random walks), the crash suite's idiom.
+fn walk_pool(g: &XmlGraph, rng: &mut SmallRng, count: usize) -> Vec<LabelPath> {
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < count * 20 {
+        attempts += 1;
+        let mut cur = NodeId(rng.gen_range(0..g.node_count() as u32));
+        let mut labels = Vec::new();
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let edges = g.out_edges(cur);
+            if edges.is_empty() {
+                break;
+            }
+            let e = &edges[rng.gen_range(0..edges.len())];
+            labels.push(e.label);
+            cur = e.to;
+        }
+        if !labels.is_empty() {
+            out.push(LabelPath::new(labels));
+        }
+    }
+    assert!(!out.is_empty(), "no walkable paths in graph");
+    out
+}
+
+struct DriveOutcome {
+    index: Apex,
+    generation: u64,
+    wal_bytes: u64,
+    appended: u64,
+    snapshots: u64,
+    snapshot_bytes: u64,
+    checkpoint_walls: Vec<Duration>,
+}
+
+fn one_checkpoint(
+    wal: &Wal,
+    generation: u64,
+    index: &Apex,
+    monitor: &WorkloadMonitor,
+) -> Result<u64, WalError> {
+    let token = wal.begin_checkpoint()?;
+    let image = encode_snapshot(token.seq(), generation, index, &monitor.durable_state())
+        .map_err(WalError::Io)?;
+    wal.commit_checkpoint(token, &image)
+}
+
+/// Logs `queries` drifting queries with a refine every `REFRESH_EVERY`,
+/// checkpointing every `CHECKPOINT_SWAPS` swaps when `checkpoints` is
+/// on. Single-threaded, so the append path (not lock contention) is
+/// what's being charged.
+fn drive(
+    g: &XmlGraph,
+    dir: &Path,
+    seed: u64,
+    queries: usize,
+    checkpoints: bool,
+) -> Result<DriveOutcome, Box<dyn std::error::Error>> {
+    let wal = Arc::new(Wal::open(
+        dir,
+        DurabilityConfig {
+            group_commit: 32,
+            checkpoint_every: 0, // cadence is driven here, not by the wal
+            retain: 0,
+        },
+        CrashPlan::none(),
+    )?);
+    let mut monitor = WorkloadMonitor::new(CAPACITY, MIN_SUP, RefreshPolicy::Manual);
+    monitor.attach_wal(Arc::clone(&wal));
+    let mut index = Apex::build_initial(g);
+    let mut generation = 0u64;
+    let mut swaps_since = 0u64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pool = walk_pool(g, &mut rng, 24);
+    let mut checkpoint_walls = Vec::new();
+
+    for i in 0..queries {
+        let hot = (i * pool.len()) / queries.max(1);
+        let pick = if rng.gen_range(0..100) < 70 {
+            hot % pool.len()
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        monitor.record(pool[pick].clone());
+        if (i + 1) % REFRESH_EVERY == 0 {
+            let (wl, min_sup) = monitor.drain_for_refresh();
+            if !wl.is_empty() {
+                index.refine(g, &wl, min_sup);
+                generation += 1;
+                swaps_since += 1;
+            }
+            if checkpoints && swaps_since >= CHECKPOINT_SWAPS {
+                swaps_since = 0;
+                let t = Instant::now();
+                one_checkpoint(&wal, generation, &index, &monitor)?;
+                checkpoint_walls.push(t.elapsed());
+            }
+        }
+    }
+    wal.sync()?;
+    let stats = wal.stats();
+    let snaps = apex::wal::list_snapshots(dir)?;
+    let snapshot_bytes = snaps
+        .iter()
+        .map(|(_, p)| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    Ok(DriveOutcome {
+        index,
+        generation,
+        wal_bytes: stats.bytes_appended,
+        appended: stats.appended,
+        snapshots: snaps.len() as u64,
+        snapshot_bytes,
+        checkpoint_walls,
+    })
+}
+
+fn recover_opts() -> RecoverOptions {
+    RecoverOptions {
+        capacity: CAPACITY,
+        min_sup: MIN_SUP,
+        ..RecoverOptions::default()
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_env();
+    let seed = base_seed();
+    let mut report = BenchReport::new("recovery");
+    report.meta(
+        "scale",
+        Json::str(if scale == Scale::Paper {
+            "paper"
+        } else {
+            "small"
+        }),
+    );
+    report.meta("refresh_every", Json::U64(REFRESH_EVERY as u64));
+    report.meta("checkpoint_swaps", Json::U64(CHECKPOINT_SWAPS));
+
+    let lengths: &[usize] = if scale == Scale::Paper {
+        &[2_000, 8_000, 32_000]
+    } else {
+        &[500, 2_000, 8_000]
+    };
+
+    println!(
+        "{:<18} {:<13} {:>8} {:>10} {:>9} {:>11} {:>11} {:>9} {:>9}",
+        "dataset",
+        "mode",
+        "queries",
+        "wal-KiB",
+        "snaps",
+        "recover-ms",
+        "replay-MB/s",
+        "krec/s",
+        "ckpt-ms"
+    );
+
+    for d in scale.datasets() {
+        let g = d.generate();
+        for &n in lengths {
+            for checkpoints in [false, true] {
+                let mode = if checkpoints {
+                    "checkpointed"
+                } else {
+                    "replay"
+                };
+                let dir = tmpdir(&format!("{}-{n}-{mode}", d.name()));
+                let out = drive(&g, &dir, seed ^ n as u64, n, checkpoints)?;
+
+                let t = Instant::now();
+                let rec = recover(&dir, &g, &recover_opts())?;
+                let wall = t.elapsed();
+
+                // Sanity: recovery agrees with the live state it mirrors.
+                extent_equivalent(&g, &rec.index, &out.index)
+                    .map_err(|why| format!("{} {mode} n={n}: diverged: {why}", d.name()))?;
+                assert_eq!(rec.generation, out.generation);
+                if checkpoints {
+                    assert!(
+                        rec.report.snapshot_seq.is_some(),
+                        "checkpointed run must recover from a snapshot"
+                    );
+                    assert!(rec.report.applied < out.appended);
+                }
+
+                let secs = wall.as_secs_f64().max(1e-9);
+                let replay_mbps = (out.wal_bytes as f64 / (1024.0 * 1024.0)) / secs;
+                let krec_s = (rec.report.replayed as f64 / 1_000.0) / secs;
+                let ckpt_mean = if out.checkpoint_walls.is_empty() {
+                    0.0
+                } else {
+                    millis(out.checkpoint_walls.iter().sum::<Duration>())
+                        / out.checkpoint_walls.len() as f64
+                };
+                let ckpt_max = out
+                    .checkpoint_walls
+                    .iter()
+                    .max()
+                    .map_or(0.0, |d| millis(*d));
+
+                println!(
+                    "{:<18} {:<13} {:>8} {:>10.1} {:>9} {:>11.2} {:>11.1} {:>9.1} {:>9}",
+                    d.name(),
+                    mode,
+                    n,
+                    out.wal_bytes as f64 / 1024.0,
+                    out.snapshots,
+                    millis(wall),
+                    replay_mbps,
+                    krec_s,
+                    if checkpoints {
+                        format!("{ckpt_mean:.2}")
+                    } else {
+                        "-".to_string()
+                    }
+                );
+
+                report.push(Json::Obj(vec![
+                    ("dataset", Json::str(d.name())),
+                    ("mode", Json::str(mode)),
+                    ("queries", Json::U64(n as u64)),
+                    ("appended", Json::U64(out.appended)),
+                    ("wal_bytes", Json::U64(out.wal_bytes)),
+                    ("snapshots", Json::U64(out.snapshots)),
+                    ("snapshot_bytes", Json::U64(out.snapshot_bytes)),
+                    ("generation", Json::U64(out.generation)),
+                    ("replayed", Json::U64(rec.report.replayed)),
+                    ("applied", Json::U64(rec.report.applied)),
+                    ("recover_ms", Json::F64(millis(wall))),
+                    ("replay_mb_per_s", Json::F64(replay_mbps)),
+                    ("replay_krec_per_s", Json::F64(krec_s)),
+                    ("checkpoints", Json::U64(out.checkpoint_walls.len() as u64)),
+                    ("checkpoint_ms_mean", Json::F64(ckpt_mean)),
+                    ("checkpoint_ms_max", Json::F64(ckpt_max)),
+                ]));
+                std::fs::remove_dir_all(&dir)?;
+            }
+        }
+    }
+
+    let path = report.write()?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run()
+}

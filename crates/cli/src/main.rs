@@ -6,7 +6,16 @@
 //! apex-cli --dataset ged --size 200 # or a custom-size family instance
 //! apex-cli --dataset Flix01 --buffer-pages 64   # bounded LRU pool
 //! apex-cli --dataset Flix01 listen 127.0.0.1:7431 --refresh-every 50
+//! apex-cli --dataset Flix01 --wal-dir ./durable listen 127.0.0.1:7431
 //! ```
+//!
+//! `--wal-dir <dir>` makes the session durable: startup recovers the
+//! index from the newest verified snapshot in `<dir>` plus a replay of
+//! the WAL tail ([`apex::recover`]), every recorded query and refresh
+//! swap is logged before it is acknowledged, the refresher (or the
+//! shell, on `quit`) checkpoints back into the directory, and the next
+//! start resumes at the generation this one reached. Works for both
+//! the interactive shell and `listen`.
 //!
 //! `listen <addr>` serves queries over TCP (the apex-net protocol)
 //! instead of opening the shell: remote clients connect with
@@ -39,9 +48,13 @@
 #![forbid(unsafe_code)]
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-use apex::{persist, Apex, IndexCell, RefreshPolicy, Refresher, WorkloadMonitor};
+use apex::{
+    persist, recover, write_checkpoint, Apex, CrashPlan, DurabilityConfig, IndexCell,
+    RecoverOptions, RefreshPolicy, Refresher, Wal, WorkloadMonitor,
+};
 use apex_query::apex_qp::ApexProcessor;
 use apex_query::batch::{run_adaptive, QueryProcessor};
 use apex_query::explain::explain_apex;
@@ -77,13 +90,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let wal_dir = match take_wal_dir(&mut args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let g = match load_graph(&args) {
         Ok(g) => Arc::new(g),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: apex-cli --file <xml> | --dataset <Table1-name|play|flix|ged> \
-                 [--size N] [--buffer-pages N] [--refresh-every N] \
+                 [--size N] [--buffer-pages N] [--refresh-every N] [--wal-dir <dir>] \
                  [listen <addr> [--workers N] [--queue-cap N] [--deadline-ms N]]"
             );
             std::process::exit(2);
@@ -98,7 +118,6 @@ fn main() {
     );
 
     let table = DataTable::build(&g, PageModel::default());
-    let mut index = Apex::build_initial(&g);
     let policy = match refresh_every {
         Some(n) => {
             println!("refresh policy: every {n} recorded queries");
@@ -106,9 +125,71 @@ fn main() {
         }
         None => RefreshPolicy::Manual,
     };
-    let mut monitor = WorkloadMonitor::new(1000, 0.1, policy);
+
+    // Durable mode: recover the index + monitor from the WAL directory
+    // (first boot and crash recovery are the same code path), then open
+    // the log for this life and attach it so every recorded query and
+    // refresh swap is durable before it is acknowledged.
+    let mut index;
+    let mut monitor;
+    let mut generation: u64 = 0;
+    let wal: Option<Arc<Wal>> = match &wal_dir {
+        Some(dir) => {
+            let opts = RecoverOptions {
+                capacity: 1000,
+                min_sup: 0.1,
+                policy,
+                ..RecoverOptions::default()
+            };
+            let rec = match recover(Path::new(dir), &g, &opts) {
+                Ok(rec) => rec,
+                Err(e) => {
+                    eprintln!("error: cannot recover from {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            for (seq, why) in &rec.report.rejected {
+                eprintln!("warning: snapshot snap-{seq:06} rejected: {why}");
+            }
+            println!(
+                "recovered gen {} from {dir}: snapshot {}, {} record(s) replayed ({} applied), \
+                 {} torn byte(s) truncated",
+                rec.generation,
+                match rec.report.snapshot_seq {
+                    Some(s) => format!("snap-{s:06}"),
+                    None => "none".to_string(),
+                },
+                rec.report.replayed,
+                rec.report.applied,
+                rec.report.truncated_bytes,
+            );
+            index = rec.index;
+            monitor = rec.monitor;
+            generation = rec.generation;
+            match Wal::open(
+                Path::new(dir),
+                DurabilityConfig::default(),
+                CrashPlan::none(),
+            ) {
+                Ok(w) => {
+                    let w = Arc::new(w);
+                    monitor.attach_wal(Arc::clone(&w));
+                    Some(w)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot open WAL in {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            index = Apex::build_initial(&g);
+            monitor = WorkloadMonitor::new(1000, 0.1, policy);
+            None
+        }
+    };
     if let Some(cfg) = listen_cfg {
-        listen(g, table, index, monitor, &cfg);
+        listen(g, table, index, monitor, generation, wal, &cfg);
         return;
     }
     // One buffer pool for the whole session: queries warm it, repeats
@@ -184,7 +265,11 @@ fn main() {
                 }
             }
             Ok(Command::Tune(min_sup)) => {
+                let windowed = monitor.workload().len();
                 let steps = monitor.refresh_at(&g, &mut index, min_sup);
+                if windowed > 0 {
+                    generation += 1; // replay counts non-empty swaps the same way
+                }
                 println!("refined at minSup {min_sup} in {steps} update steps");
                 println!("{:?}", index.stats());
             }
@@ -225,13 +310,14 @@ fn main() {
                 Err(e) => println!("parse error: {e}"),
             },
             Ok(Command::Serve(n)) => {
-                serve(&g, &table, &buf, &mut index, &mut monitor, n);
+                generation += serve(&g, &table, &buf, &mut index, &mut monitor, n);
             }
             Ok(Command::Eval(text)) => match Query::parse(&g, &text) {
                 Ok(q) => {
                     if let Some(labels) = q.labels() {
                         monitor.record(LabelPath::new(labels.to_vec()));
                         if let Some(steps) = monitor.maybe_refresh(&g, &mut index) {
+                            generation += 1; // policy refreshes only fire on non-empty windows
                             println!("auto-refreshed in {steps} update steps (policy)");
                         }
                     }
@@ -266,6 +352,17 @@ fn main() {
             },
         }
     }
+    // Durable shells leave a clean directory behind: the final
+    // checkpoint means the next start recovers without replaying a
+    // single record.
+    if let Some(w) = &wal {
+        let cell = IndexCell::with_generation(index.clone(), generation);
+        let m = Mutex::new(monitor.clone());
+        match write_checkpoint(&cell, &m, w) {
+            Ok(seq) => println!("final checkpoint snap-{seq:06} written"),
+            Err(e) => eprintln!("warning: final checkpoint failed: {e}"),
+        }
+    }
     println!("bye");
 }
 
@@ -273,7 +370,9 @@ fn main() {
 /// the concurrent serving layer: the index moves into an [`IndexCell`],
 /// a background [`Refresher`] adapts it as the replay re-records the
 /// queries, and the final snapshot + monitor state move back into the
-/// shell when the run completes.
+/// shell when the run completes. Returns the number of generations the
+/// run published (the shell's durable generation counter advances by
+/// the same amount — matching what WAL replay will reconstruct).
 fn serve(
     g: &Arc<XmlGraph>,
     table: &DataTable,
@@ -281,11 +380,11 @@ fn serve(
     index: &mut Apex,
     monitor: &mut WorkloadMonitor,
     n: usize,
-) {
+) -> u64 {
     let window: Vec<LabelPath> = monitor.workload().iter().cloned().collect();
     if window.is_empty() {
         println!("no recorded workload — run some queries first");
-        return;
+        return 0;
     }
     if matches!(monitor.policy(), RefreshPolicy::Manual) {
         println!("note: refresh policy is manual; start with --refresh-every N to see swaps");
@@ -308,7 +407,7 @@ fn serve(
         Ok(r) => r,
         Err(e) => {
             println!("cannot spawn refresher: {e}");
-            return;
+            return 0;
         }
     };
     let stats = run_adaptive(g, table, &cell, &shared_monitor, &refresher, &queries, buf);
@@ -342,6 +441,7 @@ fn serve(
         .unwrap_or_else(|p| p.into_inner())
         .clone();
     println!("adopted gen {} as the session index", cell.generation());
+    serve_stats.refreshes
 }
 
 /// `listen` subcommand configuration.
@@ -357,18 +457,34 @@ struct ListenConfig {
 /// from the remote workload (snapshot swaps under live socket
 /// traffic), and stdin controls the lifecycle — `stats` prints live
 /// accounting, `stop`/`quit`/EOF drains gracefully.
+///
+/// With a WAL (durable mode) the cell resumes at the recovered
+/// `generation`, the refresher checkpoints after swaps and flushes a
+/// final checkpoint on drain, and every acknowledged query is already
+/// in the log (the monitor logs under its own lock, before the
+/// response is written).
 fn listen(
     g: Arc<XmlGraph>,
     table: DataTable,
     index: Apex,
     monitor: WorkloadMonitor,
+    generation: u64,
+    wal: Option<Arc<Wal>>,
     cfg: &ListenConfig,
 ) {
     let table = Arc::new(table);
-    let cell = Arc::new(IndexCell::new(index));
+    let cell = Arc::new(IndexCell::with_generation(index, generation));
     let monitor = Arc::new(Mutex::new(monitor));
-    let refresher = match Refresher::spawn(Arc::clone(&g), Arc::clone(&cell), Arc::clone(&monitor))
-    {
+    let spawned = match &wal {
+        Some(w) => Refresher::spawn_durable(
+            Arc::clone(&g),
+            Arc::clone(&cell),
+            Arc::clone(&monitor),
+            Arc::clone(w),
+        ),
+        None => Refresher::spawn(Arc::clone(&g), Arc::clone(&cell), Arc::clone(&monitor)),
+    };
+    let refresher = match spawned {
         Ok(r) => Arc::new(r),
         Err(e) => {
             eprintln!("cannot spawn refresher: {e}");
@@ -446,6 +562,14 @@ fn listen(
         apex_query::stats::millis(serve_stats.swap_total()),
         apex_query::stats::millis(serve_stats.swap_max()),
     );
+    if wal.is_some() {
+        println!(
+            "durability: {} checkpoint(s) written, {} failed — next start resumes at gen {}",
+            serve_stats.checkpoints,
+            serve_stats.checkpoint_errors,
+            cell.generation()
+        );
+    }
 }
 
 /// Per-connection accounting lines for the drain report.
@@ -512,6 +636,21 @@ fn take_listen(args: &mut Vec<String>) -> Result<Option<ListenConfig>, String> {
         args.drain(j..=j + 1);
     }
     Ok(Some(cfg))
+}
+
+/// Extracts `--wal-dir <dir>` from `args` (removing it): the durability
+/// directory the session recovers from on startup and logs/checkpoints
+/// into while running.
+fn take_wal_dir(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == "--wal-dir") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("--wal-dir needs a directory path".into());
+    }
+    let dir = args[i + 1].clone();
+    args.drain(i..=i + 1);
+    Ok(Some(dir))
 }
 
 /// Extracts `--refresh-every N` from `args` (removing it), selecting the

@@ -71,6 +71,7 @@ impl GApex {
 
     /// Mutable node access.
     #[inline]
+    // apex-lint: allow(panic-reachability): XNodeIds are minted by this arena and index it by construction (persist::load range-checks before minting)
     pub fn node_mut(&mut self, x: XNodeId) -> &mut XNode {
         &mut self.nodes[x.idx()]
     }
@@ -95,6 +96,7 @@ impl GApex {
     /// labeled `l`; if `x` already has an `l`-edge to a *different* node,
     /// it is retargeted to `y` (Figure 11's retargeting step). Returns
     /// true if anything changed.
+    // apex-lint: allow(panic-reachability): XNodeIds are minted by this arena and index it by construction
     pub fn make_edge(&mut self, x: XNodeId, y: XNodeId, label: LabelId) -> bool {
         let edges = &mut self.nodes[x.idx()].edges;
         if let Some(slot) = edges.iter_mut().find(|(l, _)| *l == label) {

@@ -151,11 +151,13 @@ impl HashTree {
     }
 
     /// Sets a node's remainder pointer directly (persistence load path).
+    // apex-lint: allow(panic-reachability): load passes HNodeIds from its own loop over the arena it just allocated
     pub fn set_remainder_raw(&mut self, h: HNodeId, remainder: Option<XNodeId>) {
         self.nodes[h.idx()].remainder = remainder;
     }
 
     /// Inserts an entry verbatim (persistence load path).
+    // apex-lint: allow(panic-reachability): load passes HNodeIds from its own loop over the arena it just allocated
     pub fn insert_entry_raw(&mut self, h: HNodeId, label: LabelId, entry: Entry) {
         self.nodes[h.idx()].entries.insert(label, entry);
     }
@@ -173,6 +175,7 @@ impl HashTree {
 
     /// Ensures a head-level entry exists for `label` (length-1 paths are
     /// always required — Definition 6). Returns whether it was created.
+    // apex-lint: allow(panic-reachability): `head` is minted in the constructor against the arena it indexes
     pub fn ensure_head_entry(&mut self, label: LabelId) -> bool {
         let head = self.head;
         let fresh = !self.nodes[head.idx()].entries.contains_key(&label);
@@ -190,6 +193,7 @@ impl HashTree {
 
     /// Writes the `xnode` field through an [`EntryRef`] (the paper's
     /// `hash.append`).
+    // apex-lint: allow(panic-reachability): EntryRefs are minted against entries of this arena and index it by construction
     pub fn set_xnode(&mut self, r: EntryRef, x: XNodeId) {
         match r {
             EntryRef::Label(h, l) => {

@@ -62,16 +62,22 @@ pub mod index;
 pub mod monitor;
 pub mod persist;
 pub mod planstats;
+pub mod recover;
 pub mod serve;
 pub mod update;
 pub mod validate;
+pub mod wal;
 pub mod workload;
 
 pub use graph::{GApex, XNodeId};
 pub use hashtree::{EntryRef, HNodeId, HashTree};
 pub use index::{Apex, ExtentRef, IndexStats, Lookup, SegmentNodes};
-pub use monitor::{PlanFeedback, RefreshPolicy, WorkloadMonitor};
+pub use monitor::{MonitorState, PlanFeedback, RefreshPolicy, WorkloadMonitor};
 pub use planstats::{ExtentStat, PlanStats};
-pub use serve::{IndexCell, RefreshRecord, Refresher, ServeStats, Snapshot};
+pub use recover::{
+    recover, RecoverError, RecoverOptions, Recovered, RecoveryReport, SnapshotReject,
+};
+pub use serve::{write_checkpoint, IndexCell, RefreshRecord, Refresher, ServeStats, Snapshot};
 pub use update::{extent_equivalent, update_apex};
+pub use wal::{CrashPlan, CrashSite, DurabilityConfig, Record, Stats, Wal, WalError};
 pub use workload::Workload;

@@ -10,11 +10,13 @@
 //! multi-label paths decays below the threshold).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use apex_storage::OpKind;
 use xmlgraph::{LabelPath, XmlGraph};
 
 use crate::index::Apex;
+use crate::wal::Wal;
 use crate::workload::Workload;
 
 /// Aggregated predicted-vs-actual operator cost, fed back by every
@@ -98,7 +100,28 @@ pub enum RefreshPolicy {
     Manual,
 }
 
+/// The monitor state a durable checkpoint captures: everything replay
+/// needs to continue the record/drain sequence exactly where the
+/// snapshot left it. Capacity and policy are *configuration* — they
+/// come back from [`crate::recover::RecoverOptions`], not the image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorState {
+    /// The sliding window, oldest first.
+    pub window: Vec<LabelPath>,
+    /// The support threshold at capture time.
+    pub min_sup: f64,
+    /// Queries since the last drain.
+    pub since_refresh: u64,
+    /// Total queries ever recorded.
+    pub total_recorded: u64,
+}
+
 /// Sliding-window workload recorder with a refresh policy.
+///
+/// With a WAL attached ([`WorkloadMonitor::attach_wal`]), every
+/// recorded query and every drain is logged *under the caller's
+/// monitor lock*, so the log order equals the live serialization order
+/// — the property that makes WAL replay deterministic.
 #[derive(Debug, Clone)]
 pub struct WorkloadMonitor {
     window: VecDeque<LabelPath>,
@@ -108,6 +131,7 @@ pub struct WorkloadMonitor {
     since_refresh: usize,
     total_recorded: usize,
     feedback: PlanFeedback,
+    wal: Option<Arc<Wal>>,
 }
 
 impl WorkloadMonitor {
@@ -122,7 +146,51 @@ impl WorkloadMonitor {
             since_refresh: 0,
             total_recorded: 0,
             feedback: PlanFeedback::default(),
+            wal: None,
         }
+    }
+
+    /// Attaches a write-ahead log: from here on, recorded queries and
+    /// drains are appended to it (under whatever lock serializes calls
+    /// into this monitor). Clones share the attachment.
+    pub fn attach_wal(&mut self, wal: Arc<Wal>) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Captures the durable state for a checkpoint. Must be called
+    /// together with `Wal::begin_checkpoint` under the same monitor
+    /// lock, so the captured state covers exactly the records in
+    /// segments before the rotation point.
+    pub fn durable_state(&self) -> MonitorState {
+        MonitorState {
+            window: self.window.iter().cloned().collect(),
+            min_sup: self.min_sup,
+            since_refresh: self.since_refresh as u64,
+            total_recorded: self.total_recorded as u64,
+        }
+    }
+
+    /// Restores checkpointed state into this monitor (recovery). If the
+    /// configured capacity shrank since the snapshot, the newest
+    /// entries win.
+    pub fn restore_state(&mut self, st: &MonitorState) {
+        self.window.clear();
+        let skip = st.window.len().saturating_sub(self.capacity);
+        self.window.extend(st.window.iter().skip(skip).cloned());
+        self.min_sup = st.min_sup;
+        self.since_refresh = st.since_refresh as usize;
+        self.total_recorded = st.total_recorded as usize;
+    }
+
+    /// Sets the support threshold directly (WAL replay applies the
+    /// logged threshold before re-running each drain).
+    pub fn set_min_sup(&mut self, min_sup: f64) {
+        self.min_sup = min_sup;
     }
 
     /// Records an executed plan's per-operator `(kind, predicted,
@@ -136,8 +204,13 @@ impl WorkloadMonitor {
         &self.feedback
     }
 
-    /// Records one query.
+    /// Records one query (and logs it, if a WAL is attached — before
+    /// the push, so a crash between log and push loses nothing: the
+    /// logged record replays the push).
     pub fn record(&mut self, q: LabelPath) {
+        if let Some(w) = &self.wal {
+            w.log_query(&q);
+        }
         if self.window.len() == self.capacity {
             self.window.pop_front();
         }
@@ -182,8 +255,12 @@ impl WorkloadMonitor {
     /// cycle — used by `core::serve` where the rebuild itself happens on
     /// a private index copy outside the monitor lock.
     pub fn drain_for_refresh(&mut self) -> (Workload, f64) {
+        let wl = self.workload();
+        if let Some(w) = &self.wal {
+            w.log_swap(self.min_sup, wl.len());
+        }
         self.since_refresh = 0;
-        (self.workload(), self.min_sup)
+        (wl, self.min_sup)
     }
 
     /// Decides whether a refresh is due for `index` (per policy).
@@ -247,9 +324,16 @@ impl WorkloadMonitor {
 
     /// Unconditional refresh with an explicit threshold (overrides the
     /// configured `min_sup` for this round and becomes the new setting).
+    /// An empty window is a no-op refine (0 steps): every path —
+    /// serving, direct refresh, and WAL replay — agrees that a drain
+    /// with nothing recorded never reshapes the index, which is what
+    /// keeps replay convergent with the live history.
     pub fn refresh_at(&mut self, g: &XmlGraph, index: &mut Apex, min_sup: f64) -> usize {
         self.min_sup = min_sup;
         let (wl, min_sup) = self.drain_for_refresh();
+        if wl.is_empty() {
+            return 0;
+        }
         index.refine(g, &wl, min_sup)
     }
 }

@@ -10,7 +10,7 @@
 //! Format (little-endian):
 //!
 //! ```text
-//! magic "APEXIDX1" | u32 xroot
+//! magic "APEXIDX" | u8 version (= 2) | u32 xroot
 //! u32 n_xnodes
 //!   per node: u32 incoming(+1; 0 = none) | u8 visited(unused, 0)
 //!             u32 n_extent | (u32 parent, u32 node)*  (NULL = u32::MAX)
@@ -21,6 +21,13 @@
 //!                               u32 xnode(+1), u32 next(+1))*
 //! u64 fnv1a checksum of everything above
 //! ```
+//!
+//! Version history: version 1 images used the 8-byte magic `APEXIDX1`;
+//! because its first seven bytes equal the current magic, a v1 image
+//! loads as [`PersistError::VersionMismatch`]`{ found: 0x31 }` rather
+//! than decoding garbage. A truncated stream reports the byte offset it
+//! died at ([`PersistError::Truncated`]); no input ever panics the
+//! loader (`core::recover` is a `panic-reachability` root).
 
 use std::io::{self, Read, Write};
 
@@ -31,16 +38,30 @@ use crate::graph::{GApex, XNodeId};
 use crate::hashtree::{Entry, HNodeId, HashTree};
 use crate::index::Apex;
 
-const MAGIC: &[u8; 8] = b"APEXIDX1";
+const MAGIC: &[u8; 7] = b"APEXIDX";
+
+/// Current format version, written after the magic.
+pub const FORMAT_VERSION: u8 = 2;
 
 /// Errors from loading a persisted index.
 #[derive(Debug)]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// Bad magic/version header.
+    /// Bad magic header (not an APEX image at all).
     BadMagic,
-    /// Checksum mismatch (truncated or corrupted file).
+    /// Recognized magic, unsupported format version.
+    VersionMismatch {
+        /// The version byte found in the image.
+        found: u8,
+    },
+    /// The stream ended early; `offset` is how many bytes decoded
+    /// cleanly before the end.
+    Truncated {
+        /// Bytes consumed before the stream ran out.
+        offset: u64,
+    },
+    /// Checksum mismatch (corrupted file).
     BadChecksum,
     /// Structurally invalid content (e.g. out-of-range ids).
     Corrupt(&'static str),
@@ -51,6 +72,13 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::BadMagic => write!(f, "not an APEX index file"),
+            PersistError::VersionMismatch { found } => write!(
+                f,
+                "unsupported index format version {found} (this build reads version {FORMAT_VERSION})"
+            ),
+            PersistError::Truncated { offset } => {
+                write!(f, "index file truncated after {offset} bytes")
+            }
             PersistError::BadChecksum => write!(f, "checksum mismatch"),
             PersistError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
         }
@@ -66,18 +94,30 @@ impl From<io::Error> for PersistError {
 }
 
 /// Incrementally updated FNV-1a hasher for the trailing checksum.
-struct Fnv(u64);
+/// Shared with `core::recover`, whose snapshot envelope hashes each
+/// section (and the section table) the same way.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf29ce484222325)
     }
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x100000001b3);
         }
     }
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a of one byte slice (the snapshot section hash).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.update(bytes);
+    h.finish()
 }
 
 /// Writer wrapper that checksums everything it emits.
@@ -99,18 +139,30 @@ impl<W: Write> Sink<'_, W> {
     }
 }
 
-/// Reader wrapper that checksums everything it consumes.
+/// Reader wrapper that checksums everything it consumes and tracks the
+/// byte offset, so a truncated stream reports where it died.
 struct Source<'a, R: Read> {
     r: &'a mut R,
     hash: Fnv,
+    offset: u64,
 }
 
 impl<R: Read> Source<'_, R> {
     fn bytes(&mut self, buf: &mut [u8]) -> Result<(), PersistError> {
-        self.r.read_exact(buf)?;
+        if let Err(e) = self.r.read_exact(buf) {
+            return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+                PersistError::Truncated {
+                    offset: self.offset,
+                }
+            } else {
+                PersistError::Io(e)
+            });
+        }
+        self.offset += buf.len() as u64;
         self.hash.update(buf);
         Ok(())
     }
+    // apex-lint: allow(panic-reachability): b is a fixed-size one-byte array; index 0 always exists
     fn u8(&mut self) -> Result<u8, PersistError> {
         let mut b = [0u8; 1];
         self.bytes(&mut b)?;
@@ -146,6 +198,7 @@ pub fn save<W: Write>(apex: &Apex, w: &mut W) -> io::Result<()> {
         hash: Fnv::new(),
     };
     s.bytes(MAGIC)?;
+    s.u8(FORMAT_VERSION)?;
     s.u32(apex.xroot().0)?;
 
     // G_APEX.
@@ -186,7 +239,7 @@ pub fn save<W: Write>(apex: &Apex, w: &mut W) -> io::Result<()> {
         }
     }
 
-    let checksum = s.hash.0;
+    let checksum = s.hash.finish();
     s.w.write_all(&checksum.to_le_bytes())
 }
 
@@ -195,11 +248,16 @@ pub fn load<R: Read>(r: &mut R) -> Result<Apex, PersistError> {
     let mut s = Source {
         r,
         hash: Fnv::new(),
+        offset: 0,
     };
-    let mut magic = [0u8; 8];
+    let mut magic = [0u8; 7];
     s.bytes(&mut magic)?;
     if &magic != MAGIC {
         return Err(PersistError::BadMagic);
+    }
+    let version = s.u8()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::VersionMismatch { found: version });
     }
     let xroot = XNodeId(s.u32()?);
 
@@ -293,9 +351,16 @@ pub fn load<R: Read>(r: &mut R) -> Result<Apex, PersistError> {
         }
     }
 
-    let computed = s.hash.0;
+    let computed = s.hash.finish();
+    let offset = s.offset;
     let mut tail = [0u8; 8];
-    s.r.read_exact(&mut tail)?;
+    if let Err(e) = s.r.read_exact(&mut tail) {
+        return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+            PersistError::Truncated { offset }
+        } else {
+            PersistError::Io(e)
+        });
+    }
     if u64::from_le_bytes(tail) != computed {
         return Err(PersistError::BadChecksum);
     }
@@ -365,6 +430,55 @@ mod tests {
             load(&mut buf.as_slice()),
             Err(PersistError::BadMagic)
         ));
+    }
+
+    #[test]
+    fn old_version_reports_version_mismatch_not_garbage() {
+        // A v1 image began "APEXIDX1": same 7-byte magic, version byte
+        // 0x31. It must be named a version problem, never decoded.
+        let mut buf = b"APEXIDX1".to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(PersistError::VersionMismatch { found: 0x31 })
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let (_, idx) = sample();
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        buf[7] = FORMAT_VERSION + 1;
+        match load(&mut buf.as_slice()) {
+            Err(PersistError::VersionMismatch { found }) => {
+                assert_eq!(found, FORMAT_VERSION + 1)
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_reports_offset_at_every_cut() {
+        // Any prefix of a valid image must fail cleanly: Truncated with
+        // the exact offset where the bytes ran out (or BadMagic /
+        // VersionMismatch for cuts inside the header) — never a panic.
+        let (_, idx) = sample();
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        let step = (buf.len() / 97).max(1);
+        for cut in (0..buf.len()).step_by(step) {
+            match load(&mut &buf[..cut]) {
+                Err(PersistError::Truncated { offset }) => {
+                    assert!(offset <= cut as u64, "offset {offset} past cut {cut}")
+                }
+                Err(PersistError::BadMagic | PersistError::VersionMismatch { .. }) => {
+                    assert!(cut < 8, "header errors only for header cuts (cut={cut})")
+                }
+                Err(other) => panic!("cut {cut}: unexpected error {other:?}"),
+                Ok(_) => panic!("cut {cut}: truncated image must not load"),
+            }
+        }
     }
 
     #[test]

@@ -34,6 +34,20 @@
 //! rebuild finish, runs one final cycle if a request is still queued
 //! (no recorded work is dropped), then joins the thread and returns the
 //! accumulated [`ServeStats`].
+//!
+//! # Durability
+//!
+//! A refresher spawned with [`Refresher::spawn_durable`] also owns the
+//! checkpoint half of the write path in [`crate::wal`]: after every
+//! `checkpoint_every`-th published swap (see
+//! [`crate::wal::DurabilityConfig`]) — and once more on shutdown, so a
+//! clean stop never needs replay — it captures the monitor state and
+//! rotates the log *under the monitor lock* ([`Wal::begin_checkpoint`]),
+//! then encodes and commits the verified snapshot outside any lock
+//! ([`Wal::commit_checkpoint`]). [`IndexCell::with_generation`] is the
+//! matching boot path: [`crate::recover::recover`] hands back an index
+//! at the generation it had reached, and the cell resumes counting from
+//! there.
 
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +60,7 @@ use xmlgraph::XmlGraph;
 use crate::index::Apex;
 use crate::monitor::WorkloadMonitor;
 use crate::planstats::PlanStats;
+use crate::wal::{Wal, WalError};
 use crate::workload::Workload;
 
 /// One published index version: the immutable unit query workers hold.
@@ -106,6 +121,21 @@ impl IndexCell {
                 stats,
             })),
             generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs a recovered index at the generation it had already
+    /// reached — the boot-from-[`crate::recover::recover`] constructor,
+    /// so generations stay monotonic across a crash/restart boundary.
+    pub fn with_generation(index: Apex, generation: u64) -> IndexCell {
+        let stats = PlanStats::assemble(&index).with_generation(generation);
+        IndexCell {
+            current: Mutex::new(Arc::new(Snapshot {
+                generation,
+                index,
+                stats,
+            })),
+            generation: AtomicU64::new(generation),
         }
     }
 
@@ -188,6 +218,12 @@ pub struct ServeStats {
     pub coalesced: u64,
     /// Cycles skipped because the drained window was empty.
     pub empty_windows: u64,
+    /// Snapshot checkpoints committed (durable refreshers only;
+    /// includes the final shutdown checkpoint).
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed — serving continues, durability
+    /// degrades to a longer replay on the next recovery.
+    pub checkpoint_errors: u64,
     /// Per-refresh details, in publish order.
     pub records: Vec<RefreshRecord>,
 }
@@ -251,6 +287,31 @@ impl Refresher {
         cell: Arc<IndexCell>,
         monitor: Arc<Mutex<WorkloadMonitor>>,
     ) -> io::Result<Refresher> {
+        Refresher::spawn_inner(g, cell, monitor, None)
+    }
+
+    /// Like [`Refresher::spawn`], but the refresher also checkpoints
+    /// through `wal`: a snapshot after every
+    /// `DurabilityConfig::checkpoint_every`-th published swap, plus a
+    /// final one on shutdown so a clean stop recovers with zero records
+    /// applied from the log. The same `wal` should be attached to the
+    /// monitor (`WorkloadMonitor::attach_wal`) so the records the
+    /// checkpoints cover are actually being logged.
+    pub fn spawn_durable(
+        g: Arc<XmlGraph>,
+        cell: Arc<IndexCell>,
+        monitor: Arc<Mutex<WorkloadMonitor>>,
+        wal: Arc<Wal>,
+    ) -> io::Result<Refresher> {
+        Refresher::spawn_inner(g, cell, monitor, Some(wal))
+    }
+
+    fn spawn_inner(
+        g: Arc<XmlGraph>,
+        cell: Arc<IndexCell>,
+        monitor: Arc<Mutex<WorkloadMonitor>>,
+        wal: Option<Arc<Wal>>,
+    ) -> io::Result<Refresher> {
         let shared = Arc::new(RefreshShared {
             state: Mutex::new(RefreshState::default()),
             cv: Condvar::new(),
@@ -258,7 +319,7 @@ impl Refresher {
         let worker_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("apex-refresher".into())
-            .spawn(move || refresh_loop(&g, &cell, &monitor, &worker_shared))?;
+            .spawn(move || refresh_loop(&g, &cell, &monitor, &worker_shared, wal.as_deref()))?;
         Ok(Refresher {
             shared,
             handle: Some(handle),
@@ -344,26 +405,62 @@ impl Drop for Refresher {
     }
 }
 
+/// Captures the serving state and commits one verified snapshot
+/// checkpoint through `wal`. Returns the checkpoint sequence.
+///
+/// The monitor state capture and the log rotation
+/// ([`Wal::begin_checkpoint`]) happen under the *same* monitor lock, so
+/// the snapshot covers exactly the records in segments before the new
+/// sequence — nothing is double-applied or lost on replay. The
+/// expensive part (encoding the index, writing and fsyncing the file)
+/// runs after the lock is released; recorded traffic is never stalled
+/// behind a checkpoint.
+pub fn write_checkpoint(
+    cell: &IndexCell,
+    monitor: &Mutex<WorkloadMonitor>,
+    wal: &Wal,
+) -> Result<u64, WalError> {
+    let (token, state) = {
+        let m = monitor.lock().unwrap_or_else(|p| p.into_inner());
+        let token = wal.begin_checkpoint()?;
+        (token, m.durable_state())
+    };
+    // Only the refresher (or a single-threaded driver) publishes, and it
+    // is the one checkpointing — the snapshot read here is the one the
+    // captured monitor state was serving against.
+    let snap = cell.snapshot();
+    let image =
+        crate::recover::encode_snapshot(token.seq(), snap.generation(), snap.index(), &state)
+            .map_err(WalError::Io)?;
+    wal.commit_checkpoint(token, &image)
+}
+
 fn refresh_loop(
     g: &XmlGraph,
     cell: &IndexCell,
     monitor: &Mutex<WorkloadMonitor>,
     shared: &RefreshShared,
+    wal: Option<&Wal>,
 ) {
+    let checkpoint_every = wal.map(|w| w.config().checkpoint_every).unwrap_or(0);
+    let mut swaps_since_checkpoint: u64 = 0;
     loop {
         // Wait for a request (or shutdown), then claim it.
         {
             let mut st = shared.lock();
-            loop {
+            let claimed = loop {
                 if st.pending {
                     st.pending = false;
                     st.in_flight = true;
-                    break;
+                    break true;
                 }
                 if st.shutdown {
-                    return;
+                    break false;
                 }
                 st = shared.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            };
+            if !claimed {
+                break; // fall through to the final shutdown checkpoint
             }
         }
 
@@ -389,6 +486,20 @@ fn refresh_loop(
             })
         };
 
+        // Checkpoint cadence: every `checkpoint_every`-th published
+        // swap. Still inside `in_flight`, so `wait_idle` returners see
+        // the checkpoint durable too.
+        let mut checkpoint = None;
+        if record.is_some() {
+            swaps_since_checkpoint += 1;
+            if let Some(w) = wal {
+                if checkpoint_every > 0 && swaps_since_checkpoint >= checkpoint_every {
+                    checkpoint = Some(write_checkpoint(cell, monitor, w).is_ok());
+                    swaps_since_checkpoint = 0;
+                }
+            }
+        }
+
         let mut st = shared.lock();
         match record {
             Some(r) => {
@@ -397,8 +508,25 @@ fn refresh_loop(
             }
             None => st.stats.empty_windows += 1,
         }
+        match checkpoint {
+            Some(true) => st.stats.checkpoints += 1,
+            Some(false) => st.stats.checkpoint_errors += 1,
+            None => {}
+        }
         st.in_flight = false;
         shared.cv.notify_all();
+    }
+
+    // Final checkpoint: a clean shutdown leaves the directory in a
+    // state recovery serves without applying a single log record.
+    if let Some(w) = wal {
+        let ok = write_checkpoint(cell, monitor, w).is_ok();
+        let mut st = shared.lock();
+        if ok {
+            st.stats.checkpoints += 1;
+        } else {
+            st.stats.checkpoint_errors += 1;
+        }
     }
 }
 
@@ -667,6 +795,59 @@ mod tests {
         assert_eq!(s2.stats().generation(), s2.generation());
         assert_eq!(s2.stats().workload_paths(), 1);
         drop(refresher);
+    }
+
+    #[test]
+    fn durable_refresher_checkpoints_and_clean_shutdown_needs_no_replay() {
+        use crate::recover::{recover, RecoverOptions};
+        use crate::wal::{CrashPlan, DurabilityConfig, Wal};
+        let g = Arc::new(moviedb());
+        let dir = std::env::temp_dir().join(format!("apex-serve-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = Arc::new(
+            Wal::open(
+                &dir,
+                DurabilityConfig {
+                    group_commit: 1,
+                    checkpoint_every: 1,
+                    retain: 0,
+                },
+                CrashPlan::none(),
+            )
+            .expect("open wal"),
+        );
+        let cell = Arc::new(IndexCell::new(Apex::build_initial(&g)));
+        let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(
+            100,
+            0.1,
+            RefreshPolicy::Manual,
+        )));
+        monitor.lock().unwrap().attach_wal(Arc::clone(&wal));
+        for _ in 0..6 {
+            monitor.lock().unwrap().record(path(&g, "actor.name"));
+        }
+        let refresher = Refresher::spawn_durable(
+            Arc::clone(&g),
+            Arc::clone(&cell),
+            Arc::clone(&monitor),
+            Arc::clone(&wal),
+        )
+        .expect("spawn");
+        refresher.request_refresh();
+        refresher.wait_idle();
+        let stats = refresher.shutdown();
+        assert_eq!(stats.refreshes, 1);
+        // One cadence checkpoint (checkpoint_every = 1) + the final
+        // shutdown checkpoint.
+        assert_eq!(stats.checkpoints, 2);
+        assert_eq!(stats.checkpoint_errors, 0);
+
+        // Clean shutdown ⇒ recovery applies zero records from the log.
+        let rec = recover(&dir, &g, &RecoverOptions::default()).expect("recover");
+        assert_eq!(rec.report.applied, 0, "clean shutdown must not need replay");
+        assert_eq!(rec.generation, 1);
+        assert!(crate::update::extent_equivalent(&g, &rec.index, cell.snapshot().index()).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -20,10 +20,12 @@
 //! Panic *sites* are direct: `panic!`/`unreachable!`, `.unwrap()`,
 //! `.expect()`, and `[…]` indexing (which can exceed bounds; `get`
 //! cannot). `panic-reachability` then walks the graph from the serving
-//! roots — every non-test function in `net::server`, `core::serve`, and
-//! `query::exec` — and flags each reachable function that contains a
-//! panic site, anchored at its `fn` line so one justified suppression
-//! covers the whole function.
+//! roots — every non-test function in `net::server`, `core::serve`,
+//! `core::recover`, and `query::exec` — and flags each reachable
+//! function that contains a panic site, anchored at its `fn` line so
+//! one justified suppression covers the whole function. Recovery is a
+//! root because it runs before serving can start: a panic there turns
+//! a torn log into a boot loop.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -31,10 +33,13 @@ use crate::engine::{Finding, Severity, Workspace};
 use crate::parse::FnItem;
 
 /// Files whose non-test functions are serving roots: the worker/reader
-/// loops of the socket server, the refresher, and the query operators.
+/// loops of the socket server, the refresher, the query operators, and
+/// the boot-time recovery path (which must survive arbitrarily torn or
+/// corrupted logs without panicking).
 pub const ROOT_FILES: &[&str] = &[
     "crates/net/src/server.rs",
     "crates/core/src/serve.rs",
+    "crates/core/src/recover.rs",
     "crates/query/src/exec.rs",
 ];
 

@@ -10,9 +10,9 @@
 //!
 //! | rule | invariant |
 //! |------|-----------|
-//! | `cost-io-writes` | `Cost` I/O counters are written only by the storage layer (incl. `storage::block` / `storage::kernels`), the shared executor and the planner's attributed operators |
+//! | `cost-io-writes` | `Cost` I/O counters are written only by the storage layer (incl. `storage::block` / `storage::kernels`), the shared executor, the planner's attributed operators, and `core::wal`'s recovery scan |
 //! | `no-panic` | library code neither `.unwrap()`s, `.expect()`s nor `panic!`s (per-site; the serving-root files are covered transitively by `panic-reachability` instead) |
-//! | `panic-reachability` | nothing reachable from the serving roots (`net::server`, `core::serve`, `query::exec`) can panic — `panic!`, `unwrap`, `expect`, or `[…]` indexing |
+//! | `panic-reachability` | nothing reachable from the serving roots (`net::server`, `core::serve`, `core::recover`, `query::exec`) can panic — `panic!`, `unwrap`, `expect`, or `[…]` indexing |
 //! | `lock-order` | the lock-acquisition graph is cycle-free and nothing blocks while holding two guards |
 //! | `hot-path-alloc` | semijoin kernel bodies never allocate outside `*Scratch` constructors |
 //! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
@@ -58,8 +58,8 @@ pub const RULES: &[Rule] = &[
     Rule {
         name: "cost-io-writes",
         summary: "Cost I/O counters (pages_read/extent_pairs/table_probes) are written \
-                  only in apex-storage (incl. block/kernels), apex_query::exec and \
-                  apex_query::plan",
+                  only in apex-storage (incl. block/kernels), apex_query::exec, \
+                  apex_query::plan and apex::wal's recovery scan",
         severity: Severity::Error,
         check: Check::File(cost_io_writes),
     },
@@ -73,7 +73,8 @@ pub const RULES: &[Rule] = &[
     Rule {
         name: "panic-reachability",
         summary: "functions reachable from the serving roots (net::server, core::serve, \
-                  query::exec) must not panic!, unwrap, expect, or index without get",
+                  core::recover, query::exec) must not panic!, unwrap, expect, or index \
+                  without get",
         severity: Severity::Error,
         check: Check::Workspace(callgraph::panic_reachability),
     },
@@ -159,9 +160,14 @@ fn cost_io_writes(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
     // cost-based planner (`query::plan`) is the executor's peer: its
     // backward join order runs reverse semijoins that fault blocks and
     // charge pages/pairs through the same attributed closures.
+    // `core::wal` is the one non-query writer: recovery's segment scan
+    // charges `pages_read` for the log pages it faults, so a replayed
+    // boot reports its I/O through the same attributed counters as a
+    // served query.
     if ctx.crate_dir == "storage"
         || ctx.rel_path == "crates/query/src/exec.rs"
         || ctx.rel_path == "crates/query/src/plan.rs"
+        || ctx.rel_path == "crates/core/src/wal.rs"
     {
         return;
     }

@@ -136,6 +136,14 @@ impl Engine {
         // batch layer's adaptive driver: monitoring is part of serving,
         // so remote workloads steer the index too. Plan feedback
         // (predicted vs actual per operator) rides the same lock.
+        //
+        // Durability (log-before-ack): when the monitor has a WAL
+        // attached (`WorkloadMonitor::attach_wal`), `record` appends
+        // the query to the log under this same monitor lock — before
+        // `execute` returns and therefore before the server writes the
+        // response bytes. Every acknowledged query is in the log (or
+        // was never acknowledged), and the log order is the monitor's
+        // serialization order, which is what replay reapplies.
         let path = recordable_path(&q);
         if path.is_some() || out.plan.is_some() {
             let due = {

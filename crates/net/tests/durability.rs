@@ -1,0 +1,112 @@
+//! Durability across the wire: queries served over a real loopback
+//! socket must be in the WAL by the time their response is read
+//! (log-before-ack), and a recovery from that directory must rebuild
+//! the same adapted index the server was serving.
+
+use std::sync::{Arc, Mutex};
+
+use apex::recover::{recover, RecoverOptions};
+use apex::wal::{CrashPlan, DurabilityConfig, Wal};
+use apex::{Apex, IndexCell, RefreshPolicy, Refresher, WorkloadMonitor};
+use apex_net::{Client, Engine, Server, ServerConfig, Status};
+use apex_storage::{DataTable, PageModel};
+use xmlgraph::builder::moviedb;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("apex-net-dur-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn acked_queries_are_in_the_log_and_survive_recovery() {
+    let dir = tmpdir("ack");
+    let g = Arc::new(moviedb());
+    let table = Arc::new(DataTable::build(&g, PageModel::default()));
+    let cell = Arc::new(IndexCell::new(Apex::build_initial(&g)));
+    let wal = Arc::new(
+        Wal::open(
+            &dir,
+            DurabilityConfig {
+                group_commit: 1, // fsync every append: ack ⇒ durable
+                checkpoint_every: 0,
+                retain: 0,
+            },
+            CrashPlan::none(),
+        )
+        .expect("open wal"),
+    );
+    let monitor = Arc::new(Mutex::new(WorkloadMonitor::new(
+        100,
+        0.3,
+        RefreshPolicy::EveryN(4),
+    )));
+    monitor.lock().unwrap().attach_wal(Arc::clone(&wal));
+    let refresher = Arc::new(
+        Refresher::spawn_durable(
+            Arc::clone(&g),
+            Arc::clone(&cell),
+            Arc::clone(&monitor),
+            Arc::clone(&wal),
+        )
+        .expect("spawn refresher"),
+    );
+    let engine = Engine::new(
+        Arc::clone(&g),
+        table,
+        Arc::clone(&cell),
+        Arc::clone(&monitor),
+    )
+    .with_refresher(Arc::clone(&refresher));
+    let mut server = Server::start(engine, ServerConfig::default(), "127.0.0.1:0").expect("bind");
+
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    for i in 0..12u64 {
+        let q = if i % 3 == 0 {
+            "//movie/title"
+        } else {
+            "//actor/name"
+        };
+        let r = c.call(q, 0).expect("call");
+        assert_eq!(r.status, Status::Ok);
+        // Log-before-ack: the append for this query happened before the
+        // response bytes were written, so it is visible here.
+        assert!(wal.stats().appended > i, "query {i} acked but not logged");
+    }
+    drop(c);
+    server.drain();
+    drop(server); // releases the engine's clone of the refresher Arc
+
+    // Wind the refresher down; its final checkpoint makes the stop clean.
+    let refresher = Arc::into_inner(refresher).expect("sole refresher owner");
+    let stats = refresher.shutdown();
+    assert!(stats.checkpoints >= 1, "shutdown writes a final checkpoint");
+
+    let st = wal.stats();
+    assert!(st.appended >= 12, "12 queries plus any swaps: {st:?}");
+    drop(wal);
+
+    // Recovery rebuilds exactly what the server ended up serving, and a
+    // clean shutdown needs no replayed records.
+    let rec = recover(&dir, &g, &RecoverOptions::default()).expect("recover");
+    assert_eq!(rec.report.applied, 0, "clean shutdown ⇒ empty replay tail");
+    let live = cell.snapshot();
+    assert_eq!(rec.generation, live.generation());
+    assert!(apex::extent_equivalent(&g, &rec.index, live.index()).is_ok());
+
+    // The oracle (pure replay of the socket workload, snapshots
+    // ignored) converges to the same index: the log alone carries the
+    // adaptation the remote clients drove.
+    let oracle = recover(
+        &dir,
+        &g,
+        &RecoverOptions {
+            use_snapshots: false,
+            ..RecoverOptions::default()
+        },
+    )
+    .expect("oracle");
+    assert_eq!(oracle.generation, live.generation());
+    assert!(apex::extent_equivalent(&g, &oracle.index, live.index()).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -178,6 +178,7 @@ impl EdgeSet {
     }
 
     /// `self \ other` as a new set.
+    // apex-lint: allow(panic-reachability): i and j are bounds-checked by the loop and branch conditions before every index
     pub fn difference(&self, other: &EdgeSet) -> EdgeSet {
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);

@@ -93,6 +93,7 @@ impl XmlGraph {
 
     /// Outgoing edges of `n` in document order of their targets.
     #[inline]
+    // apex-lint: allow(panic-reachability): NodeIds are indices into `out`, which is built with one slot per node
     pub fn out_edges(&self, n: NodeId) -> &[Edge] {
         &self.out[n.idx()]
     }
