@@ -3,26 +3,44 @@
 //! edge relation of each small-scale dataset family (Play / Flix / Ged).
 //!
 //! For every (dataset, ratio) the three fixed kernels run over the same
-//! inputs and report their logical `work` (comparisons) and
-//! `pairs_read` (pairs materialized from blocks); the adaptive policy
+//! inputs and report their logical `work` (comparisons), `pairs_read`
+//! (pairs resident in faulted blocks) and `decoded` (pairs actually
+//! materialized through the bounded decode window); the adaptive policy
 //! then picks a kernel from the size ratio alone. The run *asserts*
 //! that the adaptive pick's work never exceeds 1.5× the best fixed
 //! kernel (plus a constant slack for degenerate tiny inputs) — the
 //! guarantee the query processors rely on when they delegate the access
 //! path choice.
 //!
-//! Also writes `BENCH_kernels.json` with one row per (dataset, ratio).
+//! The same sweep then races the two extent representations on wall
+//! clock with the adaptive kernel: the *succinct* path queries the
+//! compressed blocks directly (rank/select headers, sampled restarts,
+//! batched branch-free varint decode), while the *full-decode* baseline
+//! pays a whole-extent decode into a reused `Vec` before running the
+//! pre-succinct slice kernel. Asserted per row: the succinct path is
+//! strictly faster at every ratio ≥ 1:10, within 5% at 1:1, and its
+//! resident bytes stay ≤ 50% of the decoded-`Vec` baseline
+//! (8 bytes/pair).
+//!
+//! Also writes `BENCH_kernels.json` with one row per (dataset, ratio),
+//! including `resident_bytes`, `decoded_pairs` and the timed columns.
 //!
 //! (`cargo run -p apex-bench --release --bin kernels`)
 
 use apex_bench::report::{BenchReport, Json};
-use apex_storage::kernels::{semijoin_into, Kernel, KernelPolicy, SemijoinScratch};
-use apex_storage::EdgeSet;
+use apex_storage::kernels::{decoded, semijoin_into, Kernel, KernelPolicy, SemijoinScratch};
+use apex_storage::{EdgePair, EdgeSet};
 use datagen::Dataset;
+use std::time::Instant;
 use xmlgraph::NodeId;
 
 const RATIOS: [usize; 5] = [1, 10, 100, 1_000, 10_000];
 const SLACK: usize = 32;
+/// Timing samples per measurement; the minimum is reported.
+const SAMPLES: usize = 9;
+/// Target nanoseconds per sample — inner repetitions scale up until a
+/// sample takes at least this long, so tiny inputs still time stably.
+const SAMPLE_TARGET_NS: u64 = 400_000;
 
 /// The dataset's full edge relation as one extent (every `G_APEX⁰`
 /// extent is a subset of it; this is the largest join target the
@@ -42,11 +60,30 @@ fn sample_ends(extent: &EdgeSet, ratio: usize) -> Vec<NodeId> {
     parents.into_iter().step_by(ratio).collect()
 }
 
+/// Min-of-`SAMPLES` wall-clock nanoseconds per call of `f`, with inner
+/// repetitions auto-scaled so each sample runs at least
+/// `SAMPLE_TARGET_NS`.
+fn time_ns(mut f: impl FnMut()) -> u64 {
+    let t = Instant::now();
+    f();
+    let once = (t.elapsed().as_nanos() as u64).max(1);
+    let reps = (SAMPLE_TARGET_NS / once).clamp(1, 50_000);
+    let mut best = u64::MAX;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as u64 / reps);
+    }
+    best
+}
+
 fn main() {
     let mut report = BenchReport::new("kernels");
     println!("Kernel microbench: semijoin work by end:extent ratio\n");
     println!(
-        "{:<14} {:>7} {:>9} {:>7} {:>12} {:>12} {:>12} | {:<10} {:>12} {:>11}",
+        "{:<14} {:>7} {:>9} {:>7} {:>12} {:>12} {:>12} | {:<10} {:>12} {:>10} | {:>10} {:>10} {:>8}",
         "dataset",
         "ratio",
         "extent",
@@ -56,25 +93,73 @@ fn main() {
         "block-skip",
         "adaptive",
         "work",
-        "pairs-read"
+        "decoded",
+        "succ-ns",
+        "full-ns",
+        "resident"
     );
     let mut scratch = SemijoinScratch::new();
     for d in [Dataset::FourTragedy, Dataset::Flix01, Dataset::Ged01] {
         let extent = edge_relation(d);
+        let succ = extent.succinct();
+        let bx = succ.image();
+        let resident = succ.resident_bytes();
+        let raw_bytes = extent.len() * std::mem::size_of::<EdgePair>();
+        assert!(
+            resident * 2 <= raw_bytes,
+            "{}: succinct resident {resident} B exceeds 50% of the {raw_bytes} B decoded-Vec baseline",
+            d.name(),
+        );
+        // The full-decode baseline's reusable buffer: the decode cost is
+        // paid inside every timed iteration, but the allocation is not.
+        let mut decode_buf: Vec<EdgePair> = Vec::with_capacity(extent.len());
         for ratio in RATIOS {
             let ends = sample_ends(&extent, ratio);
             let mut works = Vec::new();
             let mut reads = Vec::new();
             for kernel in [Kernel::Merge, Kernel::Gallop, Kernel::BlockSkip] {
-                let r = semijoin_into(kernel, &extent, &ends, &mut scratch);
+                let r = semijoin_into(kernel, &extent, (&ends[..]).into(), &mut scratch);
                 works.push(r.work);
                 reads.push(r.pairs_read);
             }
             let picked = KernelPolicy::Adaptive.choose(ends.len(), &extent);
-            let adaptive = semijoin_into(picked, &extent, &ends, &mut scratch);
+            let adaptive = semijoin_into(picked, &extent, (&ends[..]).into(), &mut scratch);
             let best = works.iter().copied().min().unwrap_or(0);
+            assert!(
+                adaptive.work <= best + best / 2 + SLACK,
+                "{} ratio 1:{ratio}: adaptive ({}, work {}) worse than 1.5x best fixed kernel (work {best})",
+                d.name(),
+                picked.name(),
+                adaptive.work,
+            );
+            // Race the representations under the adaptive kernel.
+            let succ_ns = time_ns(|| {
+                let r = semijoin_into(picked, &extent, (&ends[..]).into(), &mut scratch);
+                std::hint::black_box(r.work);
+            });
+            let full_ns = time_ns(|| {
+                decode_buf.clear();
+                for k in 0..bx.num_blocks() {
+                    bx.decode_block_into(k, &mut decode_buf);
+                }
+                let r = decoded::semijoin_into(picked, &decode_buf, bx, &ends, &mut scratch);
+                std::hint::black_box(r.work);
+            });
+            if ratio >= 10 {
+                assert!(
+                    succ_ns < full_ns,
+                    "{} ratio 1:{ratio}: succinct path ({succ_ns} ns) not faster than full decode ({full_ns} ns)",
+                    d.name(),
+                );
+            } else {
+                assert!(
+                    succ_ns <= full_ns + full_ns / 20,
+                    "{} ratio 1:{ratio}: succinct path ({succ_ns} ns) more than 5% behind full decode ({full_ns} ns)",
+                    d.name(),
+                );
+            }
             println!(
-                "{:<14} {:>7} {:>9} {:>7} {:>12} {:>12} {:>12} | {:<10} {:>12} {:>11}",
+                "{:<14} {:>7} {:>9} {:>7} {:>12} {:>12} {:>12} | {:<10} {:>12} {:>10} | {:>10} {:>10} {:>8}",
                 d.name(),
                 format!("1:{ratio}"),
                 extent.len(),
@@ -84,27 +169,22 @@ fn main() {
                 works[2],
                 picked.name(),
                 adaptive.work,
-                adaptive.pairs_read,
-            );
-            assert!(
-                adaptive.work <= best + best / 2 + SLACK,
-                "{} ratio 1:{ratio}: adaptive ({}, work {}) worse than 1.5x best fixed kernel (work {best})",
-                d.name(),
-                picked.name(),
-                adaptive.work,
+                adaptive.decoded,
+                succ_ns,
+                full_ns,
+                resident,
             );
             report.push(Json::Obj(vec![
                 ("dataset", Json::str(d.name())),
                 ("ratio", Json::U64(ratio as u64)),
                 ("extent_pairs", Json::U64(extent.len() as u64)),
-                (
-                    "extent_blocks",
-                    Json::U64(extent.blocks().num_blocks() as u64),
-                ),
+                ("extent_blocks", Json::U64(bx.num_blocks() as u64)),
                 (
                     "extent_encoded_bytes",
                     Json::U64(extent.stored_bytes() as u64),
                 ),
+                ("resident_bytes", Json::U64(resident as u64)),
+                ("decoded_vec_bytes", Json::U64(raw_bytes as u64)),
                 ("ends", Json::U64(ends.len() as u64)),
                 ("merge_work", Json::U64(works[0] as u64)),
                 ("gallop_work", Json::U64(works[1] as u64)),
@@ -115,6 +195,9 @@ fn main() {
                 ("adaptive_kernel", Json::str(picked.name())),
                 ("adaptive_work", Json::U64(adaptive.work as u64)),
                 ("adaptive_pairs_read", Json::U64(adaptive.pairs_read as u64)),
+                ("decoded_pairs", Json::U64(adaptive.decoded as u64)),
+                ("succinct_ns", Json::U64(succ_ns)),
+                ("full_decode_ns", Json::U64(full_ns)),
             ]));
         }
         println!();
@@ -124,4 +207,5 @@ fn main() {
         Err(e) => eprintln!("could not write report: {e}"),
     }
     println!("adaptive picker stayed within 1.5x of the best fixed kernel on every row");
+    println!("succinct path beat the full-decode baseline at every ratio >= 1:10 (parity at 1:1)");
 }

@@ -18,6 +18,7 @@ fn main() {
     );
     let mut encoded_total = 0u64;
     let mut raw_total = 0u64;
+    let mut resident_total = 0u64;
     for d in scale.datasets() {
         let ex = Experiment::new(d, scale);
         let sdg = ex.dataguide();
@@ -77,6 +78,20 @@ fn main() {
             );
         }
         println!();
+        // Queryable in-memory footprint of the succinct form (payload +
+        // headers + rank/select directory + decode-restart samples).
+        print!(
+            "{:<18} {:<8} {:>9} {:>9} {:>8}",
+            "",
+            "res-KiB",
+            "-",
+            "-",
+            s0.extent_resident_bytes / 1024
+        );
+        for a in &apexes {
+            print!(" {:>8}", a.stats().extent_resident_bytes / 1024);
+        }
+        println!();
 
         report.push(Json::Obj(vec![
             ("dataset", Json::str(d.name())),
@@ -93,6 +108,7 @@ fn main() {
         report.push(index_row(d.name(), "APEX0", &s0));
         encoded_total += s0.extent_encoded_bytes as u64;
         raw_total += s0.extent_raw_bytes as u64;
+        resident_total += s0.extent_resident_bytes as u64;
         for (ms, a) in MINSUPS.iter().zip(&apexes) {
             let s = a.stats();
             let mut row = index_row(d.name(), &format!("APEX({ms})"), &s);
@@ -102,14 +118,16 @@ fn main() {
             report.push(row);
             encoded_total += s.extent_encoded_bytes as u64;
             raw_total += s.extent_raw_bytes as u64;
+            resident_total += s.extent_resident_bytes as u64;
         }
     }
     println!(
-        "\ntotal APEX extent bytes: {encoded_total} encoded / {raw_total} raw ({}%)",
+        "\ntotal APEX extent bytes: {encoded_total} encoded / {raw_total} raw ({}%), {resident_total} resident",
         100 * encoded_total / raw_total.max(1)
     );
     report.meta("extent_encoded_bytes_total", Json::U64(encoded_total));
     report.meta("extent_raw_bytes_total", Json::U64(raw_total));
+    report.meta("extent_resident_bytes_total", Json::U64(resident_total));
     match report.write() {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write report: {e}"),

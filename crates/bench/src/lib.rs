@@ -352,7 +352,8 @@ pub mod report {
     }
 
     /// Index-size row (Table 2): structure counts plus the stored extent
-    /// footprint in the compressed block encoding next to its raw size.
+    /// footprint in the compressed block encoding next to its raw size
+    /// and the succinct form's queryable resident bytes.
     pub fn index_row(dataset: &str, index: &str, s: &apex::IndexStats) -> Json {
         Json::Obj(vec![
             ("dataset", Json::str(dataset)),
@@ -365,6 +366,10 @@ pub mod report {
                 Json::U64(s.extent_encoded_bytes as u64),
             ),
             ("extent_raw_bytes", Json::U64(s.extent_raw_bytes as u64)),
+            (
+                "extent_resident_bytes",
+                Json::U64(s.extent_resident_bytes as u64),
+            ),
         ])
     }
 }

@@ -52,6 +52,10 @@ pub struct IndexStats {
     pub extent_encoded_bytes: usize,
     /// Uncompressed size of the same extents (8 bytes per pair).
     pub extent_raw_bytes: usize,
+    /// Bytes the extents keep resident to answer queries through the
+    /// succinct form: compressed payload + in-memory headers + the
+    /// rank/select directory + decode-restart samples.
+    pub extent_resident_bytes: usize,
 }
 
 /// The adaptive path index (graph + hash tree + root).
@@ -166,11 +170,16 @@ impl Apex {
         let mut extent_pairs = 0;
         let mut extent_encoded_bytes = 0;
         let mut extent_raw_bytes = 0;
+        let mut extent_resident_bytes = 0;
         for &x in &self.ga.reachable(self.xroot) {
             let e = self.ga.extent(x);
             extent_pairs += e.len();
             extent_encoded_bytes += e.stored_bytes();
             extent_raw_bytes += e.raw_bytes();
+            // The succinct-form figure alone: deterministic whatever
+            // query caches happen to be warm, so stats() compares equal
+            // across save/load.
+            extent_resident_bytes += e.succinct().resident_bytes();
         }
         IndexStats {
             nodes,
@@ -180,6 +189,7 @@ impl Apex {
             extent_pairs,
             extent_encoded_bytes,
             extent_raw_bytes,
+            extent_resident_bytes,
         }
     }
 

@@ -35,6 +35,11 @@ pub struct ExtentStat {
     pub parent_bounds: Option<(NodeId, NodeId)>,
     /// `(min, max)` end node of the extent (`None` when empty).
     pub node_bounds: Option<(NodeId, NodeId)>,
+    /// Bytes the extent keeps resident to answer queries: the succinct
+    /// form's payload + directory + samples when its cache was warm at
+    /// assembly time, else the compressed-size estimate. Never the
+    /// decoded 8-bytes-per-pair figure.
+    pub resident_bytes: usize,
 }
 
 impl ExtentStat {
@@ -62,6 +67,7 @@ pub struct PlanStats {
     generation: u64,
     extents: HashMap<u32, ExtentStat>,
     total_pairs: u64,
+    total_resident_bytes: u64,
     supports: HashMap<LabelPath, f64>,
     resident_pages: u64,
 }
@@ -74,9 +80,12 @@ impl PlanStats {
     pub fn assemble(index: &Apex) -> PlanStats {
         let mut extents = HashMap::new();
         let mut total_pairs = 0u64;
+        let mut total_resident_bytes = 0u64;
         for x in index.graph().reachable(index.xroot()) {
             let set = index.extent(x);
             total_pairs += set.len() as u64;
+            let resident_bytes = set.resident_bytes_hint();
+            total_resident_bytes += resident_bytes as u64;
             extents.insert(
                 x.0,
                 ExtentStat {
@@ -85,6 +94,7 @@ impl PlanStats {
                     ends: set.ends_len_hint(),
                     parent_bounds: set.parent_bounds(),
                     node_bounds: set.node_bounds(),
+                    resident_bytes,
                 },
             );
         }
@@ -92,6 +102,7 @@ impl PlanStats {
             generation: 0,
             extents,
             total_pairs,
+            total_resident_bytes,
             supports: HashMap::new(),
             resident_pages: 0,
         }
@@ -148,6 +159,13 @@ impl PlanStats {
         self.total_pairs
     }
 
+    /// Total resident extent bytes across all summarized extents — the
+    /// succinct in-memory footprint the buffer-residency inputs and the
+    /// bench reports surface (never the decoded 8-bytes-per-pair size).
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.total_resident_bytes
+    }
+
     /// Windowed support of `p` (0.0 when unseen or no workload folded).
     pub fn path_support(&self, p: &LabelPath) -> f64 {
         self.supports.get(p).copied().unwrap_or(0.0)
@@ -192,9 +210,19 @@ mod tests {
                 assert_eq!(e.node_bounds, set.node_bounds());
                 assert!(e.blocks >= 1);
                 assert!(e.ends <= e.pairs);
+                assert!(e.resident_bytes > 0);
+                // The hint never reports the decoded-Vec footprint.
+                assert!(e.resident_bytes <= set.len() * 8);
             }
         }
         assert_eq!(st.total_pairs(), pairs);
+        let resident: u64 = idx
+            .graph()
+            .reachable(idx.xroot())
+            .iter()
+            .map(|&x| idx.extent(x).resident_bytes_hint() as u64)
+            .sum();
+        assert_eq!(st.total_resident_bytes(), resident);
         assert!(!st.is_empty());
     }
 
@@ -222,6 +250,7 @@ mod tests {
             ends: 100,
             parent_bounds: Some((NodeId(10), NodeId(29))),
             node_bounds: Some((NodeId(0), NodeId(99))),
+            resident_bytes: 400,
         };
         // Full overlap.
         assert!((e.parent_overlap(Some((NodeId(0), NodeId(100)))) - 1.0).abs() < 1e-9);

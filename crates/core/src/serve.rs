@@ -777,6 +777,10 @@ mod tests {
             s1.index().graph().reachable(s1.index().xroot()).len()
         );
         assert!(s1.stats().len() > s0.stats().len());
+        // Every published snapshot carries the extents' succinct
+        // resident footprint for the planner's residency inputs.
+        assert!(s0.stats().total_resident_bytes() > 0);
+        assert!(s1.stats().total_resident_bytes() >= s0.stats().total_resident_bytes());
         let an = LabelPath::parse(&g, "actor.name").unwrap();
         assert!((s1.stats().path_support(&an) - 1.0).abs() < 1e-9);
         // The refresher path publishes workload-bearing stats too.

@@ -87,9 +87,9 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "hot-path-alloc",
-        summary: "storage::kernels and query::exec semijoin bodies may not allocate \
-                  (Vec::new/with_capacity/push-to-fresh/collect/to_vec/clone) outside \
-                  *Scratch constructors",
+        summary: "storage::kernels, storage::succinct and query::exec semijoin bodies may \
+                  not allocate (Vec::new/with_capacity/push-to-fresh/collect/to_vec/clone) \
+                  outside *Scratch constructors and succinct builders",
         severity: Severity::Error,
         check: Check::File(hot_path_alloc),
     },
@@ -264,11 +264,24 @@ fn own_body_tokens(file: &WorkspaceFile<'_>, item: &crate::parse::FnItem) -> Vec
     toks
 }
 
+/// Constructor/builder names exempt from `hot-path-alloc` in
+/// `storage::succinct`: they materialize the succinct form itself
+/// (once, at encode or cache-fill time), so their allocations are the
+/// point, not a hot-path leak.
+fn is_succinct_builder(name: &str) -> bool {
+    name == "new"
+        || name == "to_vec"
+        || ["build", "pack", "from", "encode"]
+            .iter()
+            .any(|p| name.starts_with(p))
+}
+
 fn hot_path_alloc(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
     let ctx = &file.ctx;
     let in_kernels = ctx.rel_path == "crates/storage/src/kernels.rs";
     let in_exec = ctx.rel_path == "crates/query/src/exec.rs";
-    if !in_kernels && !in_exec {
+    let in_succinct = ctx.rel_path == "crates/storage/src/succinct.rs";
+    if !in_kernels && !in_exec && !in_succinct {
         return;
     }
     for item in &file.parsed.fns {
@@ -279,6 +292,12 @@ fn hot_path_alloc(file: &WorkspaceFile<'_>, out: &mut Vec<Finding>) {
         // Scratch constructors are *where* the buffers get allocated;
         // everything else on the hot path reuses them.
         if owner.ends_with("Scratch") {
+            continue;
+        }
+        // In succinct.rs the builders own their allocations; the
+        // query-time surface (directory probes, sampled restarts,
+        // cursor fills) stays covered.
+        if in_succinct && is_succinct_builder(&item.name) {
             continue;
         }
         // In exec.rs the hot path is the semijoin/join operators; other

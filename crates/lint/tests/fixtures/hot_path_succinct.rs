@@ -1,0 +1,35 @@
+//! Succinct-extent shape: builders may allocate (they materialize the
+//! succinct form), the query-time cursor surface may not.
+
+pub struct PackedU32s {
+    words: Vec<u64>,
+}
+
+impl PackedU32s {
+    pub fn pack(values: &[u32]) -> Self {
+        let mut words = Vec::with_capacity(values.len());
+        for &v in values {
+            words.push(v as u64);
+        }
+        PackedU32s { words }
+    }
+
+    pub fn from_sorted(values: &[u32]) -> Self {
+        Self::pack(&values.to_vec())
+    }
+
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.words.iter().map(|&w| w as u32).collect()
+    }
+
+    pub fn probe(&self, i: usize) -> u64 {
+        let copied = self.words.clone();
+        copied.get(i).copied().unwrap_or(0)
+    }
+}
+
+pub fn fill(window: &mut Vec<u64>, src: &PackedU32s) -> usize {
+    window.clear();
+    window.extend(src.words.iter().copied());
+    window.len()
+}

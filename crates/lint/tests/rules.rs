@@ -30,6 +30,7 @@ const LOCK_ORDER_CLEAN: &str = include_str!("fixtures/lock_order_clean.rs");
 const HOT_PATH_BAD: &str = include_str!("fixtures/hot_path_bad.rs");
 const HOT_PATH_SUPPRESSED: &str = include_str!("fixtures/hot_path_suppressed.rs");
 const HOT_PATH_CLEAN: &str = include_str!("fixtures/hot_path_clean.rs");
+const HOT_PATH_SUCCINCT: &str = include_str!("fixtures/hot_path_succinct.rs");
 
 /// Lints a multi-file synthetic workspace.
 fn lint_files(files: &[(&str, &str)]) -> Vec<Finding> {
@@ -290,6 +291,30 @@ fn hot_path_alloc_scopes_to_semijoin_owners_in_exec() {
     assert_clean("crates/query/src/exec.rs", HOT_PATH_BAD);
     // And entirely out of scope elsewhere in the storage crate.
     assert_clean("crates/storage/src/cost.rs", HOT_PATH_BAD);
+}
+
+#[test]
+fn hot_path_alloc_covers_succinct_query_surface() {
+    // Linted as succinct.rs, the non-builder fn `merge` fires exactly
+    // like it does in kernels.rs.
+    let findings = lint_str("crates/storage/src/succinct.rs", HOT_PATH_BAD);
+    assert_eq!(
+        hits(&findings),
+        [
+            ("hot-path-alloc", 14),
+            ("hot-path-alloc", 15),
+            ("hot-path-alloc", 16),
+        ]
+    );
+    // Builders (pack/from_sorted/to_vec/new) keep their allocations;
+    // the query-time `probe` clone is the only finding, and the window
+    // fill writing through a &mut param stays clean.
+    let findings = lint_str("crates/storage/src/succinct.rs", HOT_PATH_SUCCINCT);
+    assert_eq!(hits(&findings), [("hot-path-alloc", 26)]);
+    // The builder exemption is succinct-only: the same shape linted as
+    // kernels.rs fires inside the builders too.
+    let findings = lint_str("crates/storage/src/kernels.rs", HOT_PATH_SUCCINCT);
+    assert!(findings.len() > 1, "builders must fire outside succinct.rs");
 }
 
 #[test]

@@ -249,7 +249,7 @@ impl<'a> ApexProcessor<'a> {
             for &(label, y) in self.apex.out_edges(x) {
                 ctx.nav_edges(1);
                 let (id, extent) = self.source(y);
-                let step = exec::semijoin(ctx, ends, Space::ApexExtent, id, extent);
+                let step = exec::semijoin(ctx, ends.into(), Space::ApexExtent, id, extent);
                 if step.is_empty() {
                     continue;
                 }

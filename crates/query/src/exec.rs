@@ -31,7 +31,7 @@
 
 use apex_storage::bufmgr::{BufferHandle, ObjectId, Space};
 use apex_storage::kernels::{self, Kernel, KernelPolicy, SemijoinScratch};
-use apex_storage::{Cost, DataTable, EdgePair, EdgeSet, OpKind};
+use apex_storage::{Cost, DataTable, EdgePair, EdgeSet, Ends, OpKind};
 use fabric::IndexFabric;
 use xmlgraph::{LabelId, NodeId};
 
@@ -304,8 +304,9 @@ impl ExtentUnion<'_> {
 /// Use [`semijoin`] to let the context's policy pick the kernel.
 #[derive(Debug)]
 pub struct Semijoin<'a> {
-    /// Sorted, distinct end nodes driving the join.
-    pub ends: &'a [NodeId],
+    /// Sorted, distinct end nodes driving the join — either a plain
+    /// slice or a succinct [`apex_storage::EndIndex`] view.
+    pub ends: Ends<'a>,
     /// The address space of the extent.
     pub space: Space,
     /// Buffer id of the extent (block ids derive from it).
@@ -350,7 +351,7 @@ impl Semijoin<'_> {
 /// processor previously hand-rolled).
 pub fn semijoin(
     ctx: &mut ExecContext<'_>,
-    ends: &[NodeId],
+    ends: Ends<'_>,
     space: Space,
     id: u64,
     extent: &EdgeSet,
@@ -399,7 +400,7 @@ impl MultiwayJoin<'_> {
             }
             let mut next = EdgeSet::new();
             for (id, extent) in stage {
-                let hit = semijoin(ctx, cur.end_nodes(), self.space, id, extent);
+                let hit = semijoin(ctx, cur.end_nodes().into(), self.space, id, extent);
                 next.union_in_place(&hit, &mut scratch);
             }
             cur = next;
@@ -527,7 +528,7 @@ mod tests {
         assert_eq!(u, EdgeSet::from_raw(&[(1, 2), (3, 4)]));
         // 2 ends vs a 3-pair extent: same order, so the merge kernel runs.
         let next = EdgeSet::from_raw(&[(2, 7), (4, 9), (5, 5)]);
-        let hit = semijoin(&mut ctx, u.end_nodes(), Space::ApexExtent, 2, &next);
+        let hit = semijoin(&mut ctx, u.end_nodes().into(), Space::ApexExtent, 2, &next);
         assert_eq!(hit, EdgeSet::from_raw(&[(2, 7), (4, 9)]));
         let cost = ctx.finish();
         assert_eq!(cost.ops.get(OpKind::SemijoinMerge).invocations, 1);
@@ -563,7 +564,7 @@ mod tests {
             (KernelPolicy::Adaptive, adaptive_kind),
         ] {
             let mut ctx = ExecContext::with_policy(&buf, policy);
-            let hit = semijoin(&mut ctx, &ends, Space::ApexExtent, 9, &extent);
+            let hit = semijoin(&mut ctx, (&ends[..]).into(), Space::ApexExtent, 9, &extent);
             let cost = ctx.finish();
             assert_eq!(cost.ops.get(kind).invocations, 1, "{}", policy.name());
             match &want {
@@ -585,7 +586,13 @@ mod tests {
         let blocks = extent.blocks().num_blocks() as u64;
         assert!(blocks > 2);
         let mut ctx = ExecContext::new(&buf);
-        let hit = semijoin(&mut ctx, &[NodeId(1)], Space::ApexExtent, 3, &extent);
+        let hit = semijoin(
+            &mut ctx,
+            (&[NodeId(1)][..]).into(),
+            Space::ApexExtent,
+            3,
+            &extent,
+        );
         assert_eq!(hit.len(), 1);
         let probe_pages = ctx.cost.pages_read;
         assert!(

@@ -757,14 +757,14 @@ impl<'a> Planner<'a> {
         let gap_log = (usize::BITS - (m / n).max(1).leading_zeros()) as usize;
         if m + n <= n * (2 * gap_log + 4) {
             ctx.attributed(OpKind::SemijoinMerge, |cost, _, _| {
-                let (hit, work) = stage.semijoin_ends(ends);
+                let (hit, work) = stage.semijoin_ends(ends.into());
                 cost.join_work += work as u64;
                 cost.join_output += hit.len() as u64;
                 hit
             })
         } else {
             ctx.attributed(OpKind::SemijoinGallop, |cost, _, _| {
-                let (hit, probes) = stage.probe_by_parents(ends);
+                let (hit, probes) = stage.probe_by_parents(ends.into());
                 cost.join_work += probes as u64;
                 cost.join_output += hit.len() as u64;
                 hit
@@ -838,7 +838,8 @@ impl<'a> Planner<'a> {
                 let mut next = EdgeSet::new();
                 for &x in &plan.stages[i] {
                     let (id, extent) = self.source(x);
-                    let hit = exec::semijoin(ctx, cur.end_nodes(), Space::ApexExtent, id, extent);
+                    let hit =
+                        exec::semijoin(ctx, cur.end_nodes().into(), Space::ApexExtent, id, extent);
                     next.union_in_place(&hit, &mut scratch);
                 }
                 cur = next;

@@ -177,6 +177,21 @@ impl BlockExtent {
         self.headers[k].len as usize
     }
 
+    /// Raw encoded payload of block `k`, `None` out of range — the
+    /// byte window the succinct decode cursors run over.
+    #[inline]
+    pub fn block_payload(&self, k: usize) -> Option<&[u8]> {
+        let h = self.headers.get(k)?;
+        self.bytes
+            .get(h.offset as usize..(h.offset + h.len) as usize)
+    }
+
+    /// Total encoded payload bytes (headers excluded).
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
     /// Total stored size: payload plus the serialized skip index.
     pub fn encoded_bytes(&self) -> usize {
         self.bytes.len() + self.headers.len() * HEADER_BYTES

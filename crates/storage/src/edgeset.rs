@@ -5,6 +5,7 @@ use std::sync::OnceLock;
 use xmlgraph::{NodeId, NULL_NODE};
 
 use crate::block::BlockExtent;
+use crate::succinct::{EndIndex, Ends, SuccinctExtent};
 
 /// One element of an extent: the incoming edge `<parent, node>` of a node
 /// reachable by some label path. The root's pair is `<NULL, root>`.
@@ -41,16 +42,18 @@ impl EdgePair {
 /// Performance Book (buffers are reusable via the `*_into` variants).
 ///
 /// Two derived views are computed lazily and cached (`OnceLock`, so a
-/// set shared across query threads stays `Sync`): the distinct
-/// [`end_nodes`](EdgeSet::end_nodes) and the compressed
-/// [`blocks`](EdgeSet::blocks) image whose skip index drives the
-/// adaptive semijoin kernels. Mutation (`insert`, `union_in_place`)
-/// invalidates both.
+/// set shared across query threads stays `Sync`), and both are
+/// *succinct* rather than second materialized copies: the distinct
+/// [`end_nodes`](EdgeSet::end_nodes) as a delta+varint [`EndIndex`]
+/// and the compressed [`succinct`](EdgeSet::succinct) extent (block
+/// image + rank/select directory + decode samples) the adaptive
+/// semijoin kernels run over directly. Mutation (`insert`,
+/// `union_in_place`) invalidates both.
 #[derive(Debug, Default)]
 pub struct EdgeSet {
     pairs: Vec<EdgePair>,
-    ends: OnceLock<Vec<NodeId>>,
-    blocks: OnceLock<BlockExtent>,
+    ends: OnceLock<EndIndex>,
+    succ: OnceLock<SuccinctExtent>,
 }
 
 impl Clone for EdgeSet {
@@ -60,7 +63,7 @@ impl Clone for EdgeSet {
         EdgeSet {
             pairs: self.pairs.clone(),
             ends: OnceLock::new(),
-            blocks: OnceLock::new(),
+            succ: OnceLock::new(),
         }
     }
 }
@@ -103,7 +106,7 @@ impl EdgeSet {
     /// `pairs`.
     fn invalidate(&mut self) {
         self.ends = OnceLock::new();
-        self.blocks = OnceLock::new();
+        self.succ = OnceLock::new();
     }
 
     /// Builds from `(parent, node)` raw u32 pairs — test convenience.
@@ -207,20 +210,20 @@ impl EdgeSet {
         self.pairs.iter().all(|p| other.contains(*p))
     }
 
-    /// The cached distinct end nodes, **if already computed** — `None`
-    /// otherwise. Never computes: statistics assembly (the planner's
-    /// `PlanStats`) must stay O(1) per extent and must not fault work
-    /// into cold sets.
+    /// The cached succinct end-node index, **if already computed** —
+    /// `None` otherwise. Never computes: statistics assembly (the
+    /// planner's `PlanStats`) must stay O(1) per extent and must not
+    /// fault work into cold sets.
     #[inline]
-    pub fn cached_ends(&self) -> Option<&[NodeId]> {
-        self.ends.get().map(|v| v.as_slice())
+    pub fn cached_ends(&self) -> Option<&EndIndex> {
+        self.ends.get()
     }
 
     /// The cached block image, **if already encoded** — `None`
     /// otherwise. Never encodes (see [`EdgeSet::cached_ends`]).
     #[inline]
     pub fn cached_blocks(&self) -> Option<&BlockExtent> {
-        self.blocks.get()
+        self.succ.get().map(|s| s.image())
     }
 
     /// Distinct end-node count when the cache is warm, else the pair
@@ -235,10 +238,32 @@ impl EdgeSet {
     /// against the one-page block target). O(1); never encodes.
     #[inline]
     pub fn blocks_hint(&self) -> usize {
-        match self.blocks.get() {
-            Some(bx) => bx.num_blocks().max(1),
+        match self.succ.get() {
+            Some(s) => s.num_blocks().max(1),
             None => 1 + self.pairs.len() * 4 / crate::block::BLOCK_TARGET_BYTES,
         }
+    }
+
+    /// Bytes this extent keeps resident to answer queries (compressed
+    /// payload + directory + samples + the end index when warm), or an
+    /// estimate at the same ≈4 bytes/pair the [`EdgeSet::blocks_hint`]
+    /// uses when the succinct cache is cold. O(1); never encodes — the
+    /// statistics assembly path.
+    #[inline]
+    pub fn resident_bytes_hint(&self) -> usize {
+        let extent = match self.succ.get() {
+            Some(s) => s.resident_bytes(),
+            None => self.pairs.len() * 4,
+        };
+        extent + self.ends.get().map_or(0, |e| e.resident_bytes())
+    }
+
+    /// Exact resident bytes of the succinct form (forces the encoding;
+    /// reporting paths only — see [`EdgeSet::resident_bytes_hint`] for
+    /// the planner's O(1) variant). The end index is counted only when
+    /// some query has already materialized it.
+    pub fn resident_bytes(&self) -> usize {
+        self.succinct().resident_bytes() + self.ends.get().map_or(0, |e| e.resident_bytes())
     }
 
     /// Smallest and largest parent of the set — O(1) because pairs are
@@ -253,7 +278,7 @@ impl EdgeSet {
     /// in-memory pairs — never decodes blocks. `None` when empty.
     pub fn node_bounds(&self) -> Option<(NodeId, NodeId)> {
         if let Some(ends) = self.ends.get() {
-            return Some((*ends.first()?, *ends.last()?));
+            return Some((ends.first()?, ends.last()?));
         }
         let mut it = self.pairs.iter().map(|p| p.node);
         let first = it.next()?;
@@ -277,22 +302,34 @@ impl EdgeSet {
         b - a
     }
 
-    /// Distinct end nodes, sorted. Computed once and cached; mutation
-    /// invalidates the cache.
-    pub fn end_nodes(&self) -> &[NodeId] {
+    /// Distinct end nodes, sorted, as a succinct [`EndIndex`] view —
+    /// not a second materialized `Vec`. Computed once and cached;
+    /// mutation invalidates the cache. Iterate with
+    /// [`EndIndex::iter`]/[`EndIndex::cursor`], or pass straight to the
+    /// kernels as [`Ends`].
+    pub fn end_nodes(&self) -> &EndIndex {
         self.ends.get_or_init(|| {
             let mut v: Vec<NodeId> = self.pairs.iter().map(|p| p.node).collect();
             v.sort_unstable();
             v.dedup();
-            v
+            EndIndex::from_sorted(&v)
         })
+    }
+
+    /// The succinct queryable form of this extent (lazy, cached): the
+    /// compressed block image wrapped in a rank/select directory and
+    /// decode-restart samples. This is what the adaptive kernels run
+    /// over directly.
+    pub fn succinct(&self) -> &SuccinctExtent {
+        self.succ
+            .get_or_init(|| SuccinctExtent::build(BlockExtent::encode(&self.pairs)))
     }
 
     /// The compressed block image of this extent (lazy, cached): the
     /// skip index the adaptive kernels consult and the encoded bytes
     /// the page model charges.
     pub fn blocks(&self) -> &BlockExtent {
-        self.blocks.get_or_init(|| BlockExtent::encode(&self.pairs))
+        self.succinct().image()
     }
 
     /// The join kernel of QTYPE1 evaluation: keeps the pairs of `next`
@@ -304,17 +341,20 @@ impl EdgeSet {
     /// vector on every call), so this is a merge. Returns the number of
     /// pair comparisons as join work for cost accounting.
     pub fn semijoin_next(&self, next: &EdgeSet) -> (EdgeSet, usize) {
-        let ends = self.end_nodes();
+        let mut cur = self.end_nodes().cursor();
         let mut out = Vec::new();
         let mut work = 0usize;
-        let mut ei = 0usize;
         for p in &next.pairs {
             work += 1;
-            // Advance `ei` while ends[ei] < p.parent (both sorted).
-            while ei < ends.len() && ends[ei] < p.parent {
-                ei += 1;
+            // Advance the end cursor while it trails p.parent (both sorted).
+            while let Some(e) = cur.peek() {
+                if e < p.parent {
+                    cur.advance();
+                } else {
+                    break;
+                }
             }
-            if ei < ends.len() && ends[ei] == p.parent {
+            if cur.peek() == Some(p.parent) {
                 out.push(*p);
             }
         }
@@ -322,39 +362,44 @@ impl EdgeSet {
     }
 
     /// Merge semijoin: pairs of `self` whose `parent` is in `ends`
-    /// (sorted, distinct) via a linear merge — optimal when `ends` is of
-    /// the same order as the extent. Returns matches and comparisons.
-    pub fn semijoin_ends(&self, ends: &[NodeId]) -> (EdgeSet, usize) {
+    /// (sorted, distinct — slice or succinct [`Ends`] form) via a
+    /// linear merge — optimal when `ends` is of the same order as the
+    /// extent. Returns matches and comparisons.
+    pub fn semijoin_ends(&self, ends: Ends<'_>) -> (EdgeSet, usize) {
+        let mut cur = ends.cursor();
         let mut out = Vec::new();
         let mut work = 0usize;
-        let mut ei = 0usize;
         for p in &self.pairs {
             work += 1;
-            while ei < ends.len() && ends[ei] < p.parent {
-                ei += 1;
+            while let Some(e) = cur.peek() {
+                if e < p.parent {
+                    cur.advance();
+                } else {
+                    break;
+                }
             }
-            if ei >= ends.len() {
-                break;
-            }
-            if ends[ei] == p.parent {
-                out.push(*p);
+            match cur.peek() {
+                None => break,
+                Some(e) if e == p.parent => out.push(*p),
+                Some(_) => {}
             }
         }
         (EdgeSet::from_sorted(out), work)
     }
 
     /// Indexed semijoin: pairs of `self` whose `parent` is in `ends`
-    /// (sorted, distinct). Because extents are stored sorted by
-    /// `(parent, node)`, each end is located by a galloping search from
-    /// the previous match — the clustered-index access path a real
-    /// extent store provides (see [`crate::kernels`] for the
-    /// block-aware variants). Returns the matched pairs and the number
-    /// of probes performed.
-    pub fn probe_by_parents(&self, ends: &[NodeId]) -> (EdgeSet, usize) {
+    /// (sorted, distinct — slice or succinct [`Ends`] form). Because
+    /// extents are stored sorted by `(parent, node)`, each end is
+    /// located by a galloping search from the previous match — the
+    /// clustered-index access path a real extent store provides (see
+    /// [`crate::kernels`] for the block-aware variants). Returns the
+    /// matched pairs and the number of probes performed.
+    pub fn probe_by_parents(&self, ends: Ends<'_>) -> (EdgeSet, usize) {
         let mut out = Vec::new();
         let mut probes = 0usize;
         let mut lo = 0usize;
-        for &e in ends {
+        let mut cur = ends.cursor();
+        while let Some(e) = cur.peek() {
             if lo >= self.pairs.len() {
                 break;
             }
@@ -375,6 +420,7 @@ impl EdgeSet {
                 i += 1;
             }
             lo = i;
+            cur.advance();
         }
         (EdgeSet::from_sorted(out), probes)
     }
@@ -483,13 +529,16 @@ mod tests {
         let a = EdgeSet::from_raw(&[(1, 2), (3, 4), (9, 9)]);
         let next = EdgeSet::from_raw(&[(2, 7), (2, 8), (9, 10), (4, 11), (5, 5)]);
         let ends = a.end_nodes();
-        let (probed, probes) = next.probe_by_parents(ends);
+        let (probed, probes) = next.probe_by_parents(ends.into());
         let (scanned, _) = a.semijoin_next(&next);
         assert_eq!(probed, scanned);
         assert_eq!(probes, 3);
+        // The slice form of the same ends agrees with the packed form.
+        let slice = ends.to_vec();
+        assert_eq!(next.probe_by_parents((&slice).into()).0, probed);
         // Empty ends and empty extent.
-        assert!(next.probe_by_parents(&[]).0.is_empty());
-        assert!(EdgeSet::new().probe_by_parents(ends).0.is_empty());
+        assert!(next.probe_by_parents([].as_slice().into()).0.is_empty());
+        assert!(EdgeSet::new().probe_by_parents(ends.into()).0.is_empty());
     }
 
     #[test]
@@ -497,27 +546,30 @@ mod tests {
         let p = EdgePair::root(NodeId(0));
         assert!(p.parent.is_null());
         let s = EdgeSet::from_pairs(vec![p]);
-        assert_eq!(s.end_nodes(), vec![NodeId(0)]);
+        assert_eq!(s.end_nodes().to_vec(), vec![NodeId(0)]);
     }
 
     #[test]
     fn end_nodes_dedup() {
         let s = EdgeSet::from_raw(&[(1, 5), (2, 5), (3, 6)]);
-        assert_eq!(s.end_nodes(), vec![NodeId(5), NodeId(6)]);
+        assert_eq!(s.end_nodes().to_vec(), vec![NodeId(5), NodeId(6)]);
     }
 
     #[test]
     fn cached_views_invalidate_on_mutation() {
         let mut s = EdgeSet::from_raw(&[(1, 5)]);
-        assert_eq!(s.end_nodes(), vec![NodeId(5)]);
+        assert_eq!(s.end_nodes().to_vec(), vec![NodeId(5)]);
         let stored = s.stored_bytes();
         assert!(stored > 0 && stored <= s.raw_bytes() + crate::block::HEADER_BYTES);
         assert!(s.insert(EdgePair::new(NodeId(2), NodeId(9))));
-        assert_eq!(s.end_nodes(), vec![NodeId(5), NodeId(9)]);
+        assert_eq!(s.end_nodes().to_vec(), vec![NodeId(5), NodeId(9)]);
         assert_eq!(s.blocks().num_pairs(), 2);
         let mut scratch = Vec::new();
         s.union_in_place(&EdgeSet::from_raw(&[(3, 11)]), &mut scratch);
-        assert_eq!(s.end_nodes(), vec![NodeId(5), NodeId(9), NodeId(11)]);
+        assert_eq!(
+            s.end_nodes().to_vec(),
+            vec![NodeId(5), NodeId(9), NodeId(11)]
+        );
         assert_eq!(s.blocks().num_pairs(), 3);
         // A failed insert (duplicate) keeps the caches valid.
         assert!(!s.insert(EdgePair::new(NodeId(3), NodeId(11))));

@@ -40,6 +40,7 @@ pub mod diskstore;
 pub mod edgeset;
 pub mod kernels;
 pub mod pages;
+pub mod succinct;
 
 pub use block::{BlockExtent, BlockHeader};
 pub use bufmgr::{BufferHandle, BufferManager, BufferStats, ObjectId, Space};
@@ -49,3 +50,4 @@ pub use diskstore::{ExtentId, ExtentStore};
 pub use edgeset::{EdgePair, EdgeSet};
 pub use kernels::{Kernel, KernelPolicy, KernelReport, SemijoinScratch};
 pub use pages::PageModel;
+pub use succinct::{EndCursor, EndIndex, Ends, SuccinctExtent};

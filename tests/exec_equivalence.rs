@@ -5,6 +5,11 @@
 //! per-operator attribution partitions every scalar counter, the shared
 //! pool absorbs repeated I/O across processors, and parallel batches
 //! over the shared pool reproduce sequential aggregate costs.
+//!
+//! Every semijoin here runs over the *succinct* extent path (rank/select
+//! directory, sampled restarts, windowed decode) — the kernel-policy
+//! sweep below therefore also proves each kernel's succinct
+//! implementation equivalent to the naive oracle end to end.
 
 use apex_query::batch::{run_batch, run_batch_parallel, QueryProcessor};
 use apex_query::generator::GeneratorConfig;

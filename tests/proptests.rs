@@ -308,14 +308,18 @@ mod edgeset_laws {
             let (sa, sb) = (set(&a), set(&b));
             let ends = sa.end_nodes();
             let (scan, _) = sa.semijoin_next(&sb);
-            let (merge, _) = sb.semijoin_ends(ends);
-            let (probe, _) = sb.probe_by_parents(ends);
+            let (merge, _) = sb.semijoin_ends(ends.into());
+            let (probe, _) = sb.probe_by_parents(ends.into());
             prop_assert_eq!(&scan, &merge);
             prop_assert_eq!(&scan, &probe);
+            // …and through the plain-slice face of the `Ends` view.
+            let ends_v: Vec<NodeId> = ends.to_vec();
+            let (merge_s, _) = sb.semijoin_ends((&ends_v[..]).into());
+            prop_assert_eq!(&scan, &merge_s);
             // Reference semantics: pairs of b whose parent is an end of a.
             let expect: Vec<EdgePair> = sb
                 .iter()
-                .filter(|p| ends.binary_search(&p.parent).is_ok())
+                .filter(|p| ends_v.binary_search(&p.parent).is_ok())
                 .collect();
             prop_assert_eq!(scan.pairs().to_vec(), expect);
         }
@@ -323,9 +327,10 @@ mod edgeset_laws {
         #[test]
         fn end_nodes_sorted_distinct(a in pairs(40, 60)) {
             let s = set(&a);
-            let ends = s.end_nodes();
+            let ends = s.end_nodes().to_vec();
+            prop_assert_eq!(ends.len(), s.end_nodes().len());
             prop_assert!(ends.windows(2).all(|w| w[0] < w[1]));
-            for e in ends {
+            for e in &ends {
                 prop_assert!(a.iter().any(|&(_, n)| NodeId(n) == *e));
             }
         }
@@ -356,10 +361,11 @@ mod exec_laws {
             let ends = sa.end_nodes();
             let buf = BufferHandle::unbounded();
             let mut ctx = ExecContext::new(&buf);
-            let hit = exec::semijoin(&mut ctx, ends, Space::ApexExtent, 0, &sb);
+            let hit = exec::semijoin(&mut ctx, ends.into(), Space::ApexExtent, 0, &sb);
+            let ends_vec = ends.to_vec();
             let expect: Vec<EdgePair> = sb
                 .iter()
-                .filter(|p| ends.binary_search(&p.parent).is_ok())
+                .filter(|p| ends_vec.binary_search(&p.parent).is_ok())
                 .collect();
             prop_assert_eq!(hit.pairs().to_vec(), expect);
             // Exactly one semijoin kernel ran.
@@ -387,7 +393,7 @@ mod exec_laws {
             }
             .run(&mut ctx);
             let ends = u.end_nodes();
-            let _ = exec::semijoin(&mut ctx, ends, Space::ApexExtent, 2, &sb);
+            let _ = exec::semijoin(&mut ctx, ends.into(), Space::ApexExtent, 2, &sb);
             let cost = ctx.finish();
             // Per-operator scalars sum exactly to the query totals.
             for (i, total) in cost.scalars().iter().enumerate() {
@@ -409,7 +415,7 @@ mod exec_laws {
                 }
                 .run(&mut ctx);
                 let ends = u.end_nodes();
-                let hit = exec::semijoin(&mut ctx, ends, Space::ApexExtent, 2, &sb);
+                let hit = exec::semijoin(&mut ctx, ends.into(), Space::ApexExtent, 2, &sb);
                 (hit, ctx.finish())
             };
             let (cold_hit, cold) = run(&buf);
@@ -538,12 +544,137 @@ mod block_kernel_laws {
                 .collect();
             let mut scratch = SemijoinScratch::new();
             for kernel in [Kernel::Merge, Kernel::Gallop, Kernel::BlockSkip] {
-                kernels::semijoin_into(kernel, &extent, &ends, &mut scratch);
+                kernels::semijoin_into(kernel, &extent, (&ends[..]).into(), &mut scratch);
                 prop_assert_eq!(&scratch.out, &expect, "kernel {}", kernel.name());
             }
             let picked = KernelPolicy::Adaptive.choose(ends.len(), &extent);
-            kernels::semijoin_into(picked, &extent, &ends, &mut scratch);
+            kernels::semijoin_into(picked, &extent, (&ends[..]).into(), &mut scratch);
             prop_assert_eq!(&scratch.out, &expect, "adaptive -> {}", picked.name());
+        }
+    }
+}
+
+/// Laws of the succinct extent representation: the rank/select
+/// directory agrees with linear scans over the skip headers, the
+/// batched branch-free decoder reproduces `decode_block_into` exactly,
+/// the packed end-node index round-trips, and every succinct kernel
+/// equals the decoded-slice baseline on arbitrary inputs.
+mod succinct_laws {
+    use apex_storage::kernels::{self, decoded, Kernel, SemijoinScratch};
+    use apex_storage::{EdgePair, EdgeSet, EndIndex};
+    use proptest::prelude::*;
+    use xmlgraph::NodeId;
+
+    fn pairs(max: u32, count: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+        proptest::collection::vec((0..max, 0..max), 0..count)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+        /// select ∘ rank identity plus header-search ≡ linear-scan: the
+        /// bit-packed directory answers exactly what a walk over the
+        /// raw block headers would.
+        #[test]
+        fn directory_rank_select_laws(a in pairs(200_000, 300)) {
+            let s = EdgeSet::from_raw(&a);
+            let succ = s.succinct();
+            let dir = succ.directory();
+            let headers = succ.image().headers();
+            prop_assert_eq!(dir.num_blocks(), headers.len());
+            for (k, h) in headers.iter().enumerate() {
+                prop_assert_eq!(dir.count(k), h.count as usize);
+                // Select inverts rank across the whole block.
+                for i in [dir.pairs_before(k), dir.pairs_before(k) + h.count as usize - 1] {
+                    prop_assert_eq!(dir.block_of_pair(i), k);
+                }
+            }
+            prop_assert_eq!(dir.pairs_before(dir.num_blocks()), s.len());
+            // Header search against the linear reference, probing every
+            // distinct parent plus off-by-one neighbours.
+            for &(p, _) in &a {
+                for probe in [p.saturating_sub(1), p, p.saturating_add(1)] {
+                    let linear = headers
+                        .iter()
+                        .position(|h| {
+                            let hi = if h.max_parent == u32::MAX { u32::MAX } else { h.max_parent };
+                            hi >= probe
+                        })
+                        .unwrap_or(headers.len());
+                    prop_assert_eq!(dir.first_block_reaching(probe), linear, "probe {}", probe);
+                }
+            }
+        }
+
+        /// The batched branch-free window decoder materializes exactly
+        /// the pairs `decode_block_into` produces, block by block.
+        #[test]
+        fn windowed_decoder_matches_block_decode(a in pairs(150_000, 400)) {
+            let s = EdgeSet::from_raw(&a);
+            let succ = s.succinct();
+            let mut window = Vec::new();
+            for k in 0..succ.num_blocks() {
+                let mut want = Vec::new();
+                succ.image().decode_block_into(k, &mut want).unwrap();
+                let mut got: Vec<EdgePair> = Vec::new();
+                let mut bc = succ.block_cursor(k);
+                loop {
+                    let n = bc.fill(&mut window);
+                    if n == 0 {
+                        break;
+                    }
+                    prop_assert_eq!(window.len(), n);
+                    got.extend_from_slice(&window);
+                }
+                prop_assert_eq!(got, want, "block {}", k);
+            }
+        }
+
+        /// The packed end-node index is a faithful sorted-set view:
+        /// round-trip, order, and sample-jump skipping all agree with
+        /// the plain vector.
+        #[test]
+        fn end_index_matches_vec(a in pairs(100_000, 300), t in 0u32..100_000) {
+            let mut vals: Vec<NodeId> = a.iter().map(|&(_, n)| NodeId(n)).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            let idx = EndIndex::from_sorted(&vals);
+            prop_assert_eq!(idx.len(), vals.len());
+            prop_assert_eq!(idx.to_vec(), vals.clone());
+            prop_assert_eq!(idx.first(), vals.first().copied());
+            prop_assert_eq!(idx.last(), vals.last().copied());
+            // skip_below lands on the same element as a linear scan.
+            let mut cur = apex_storage::Ends::from(&idx).cursor();
+            cur.skip_below(t);
+            let want = vals.iter().copied().find(|&v| v >= NodeId(t));
+            prop_assert_eq!(cur.peek(), want);
+        }
+
+        /// Every kernel over the succinct compressed form returns the
+        /// decoded-slice baseline's pairs, with identical comparison
+        /// counts for the merge kernel (same work semantics) and a
+        /// decode volume never exceeding the full pair count.
+        #[test]
+        fn succinct_kernels_equal_decoded_baseline(a in pairs(50_000, 120), b in pairs(50_000, 400)) {
+            let extent = EdgeSet::from_raw(&b);
+            let ends: Vec<NodeId> = EdgeSet::from_raw(&a).end_nodes().to_vec();
+            let full = extent.pairs().to_vec();
+            let bx = extent.blocks();
+            let mut s1 = SemijoinScratch::new();
+            let mut s2 = SemijoinScratch::new();
+            for kernel in [Kernel::Merge, Kernel::Gallop, Kernel::BlockSkip] {
+                let r1 = kernels::semijoin_into(kernel, &extent, (&ends[..]).into(), &mut s1);
+                let r2 = decoded::semijoin_into(kernel, &full, bx, &ends, &mut s2);
+                prop_assert_eq!(&s1.out, &s2.out, "kernel {}", kernel.name());
+                prop_assert_eq!(&s1.blocks, &s2.blocks, "kernel {} blocks", kernel.name());
+                prop_assert_eq!(r1.pairs_read, r2.pairs_read, "kernel {}", kernel.name());
+                prop_assert!(r1.decoded <= extent.len(), "kernel {}", kernel.name());
+                // The packed end view changes nothing.
+                let idx = EndIndex::from_sorted(&ends);
+                let r3 = kernels::semijoin_into(kernel, &extent, (&idx).into(), &mut s2);
+                prop_assert_eq!(&s1.out, &s2.out, "kernel {} packed", kernel.name());
+                prop_assert_eq!(r1.work, r3.work, "kernel {} packed work", kernel.name());
+            }
         }
     }
 }
