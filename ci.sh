@@ -122,11 +122,25 @@ net_smoke() {
     rm -rf "$out"
 }
 
+# The shard load generator is the sharded-serving smoke test: it runs
+# scatter-gather clusters at 1/2/4 shards × 2 replicas behind the
+# router, then replaces every replica one at a time under live load and
+# *asserts* the rollout invariant (zero client-visible sheds, balanced
+# router hop + cluster ledgers, cross-hop rollup matching the shard
+# servers' accepted totals).
+shard_smoke() {
+    local out
+    out=$(mktemp -d)
+    (cd "$out" && timeout 180 "$OLDPWD/target/release/shardload")
+    rm -rf "$out"
+}
+
 run cargo build --release --offline --workspace
 run cargo test --offline --workspace --quiet
 run kernel_smoke
 run plan_smoke
 run net_smoke
+run shard_smoke
 run recovery_smoke
 run stress
 run cargo clippy --offline --workspace --all-targets -- "${CLIPPY_EXTRA[@]}" -D warnings

@@ -1,0 +1,274 @@
+//! Sharded-serving load generator: drives the scatter-gather router
+//! over a real `shards × replicas` cluster of socket servers, measures
+//! merged-query latency as the shard count grows, then performs a full
+//! rolling replica swap under live load and checks that no client ever
+//! saw a shed.
+//!
+//! Phases:
+//!
+//! 1. **closed-loop scaling** — for each shard count in {1, 2, 4}:
+//!    start a cluster (2 replicas per shard) behind a router, drive
+//!    `CLIENTS` closed-loop client threads through it, and record
+//!    p50/p99 of the merged end-to-end latency. Every run must drain
+//!    balanced on both sides of the router.
+//! 2. **rolling swap** — a 2×2 cluster serves the same closed-loop
+//!    traffic while every replica is drained, replaced and readmitted
+//!    one at a time. Asserts the zero-downtime invariant: zero
+//!    client-visible sheds, zero client errors, balanced router and
+//!    cluster ledgers, and all four retired replicas accounted for.
+//!
+//! ```bash
+//! cargo run --release --bin shardload
+//! cargo run --release --bin shardload -- --seed 7
+//! ```
+//!
+//! Writes `BENCH_shardload.json` with one row per shard count plus the
+//! rolling-swap verdict.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use apex_bench::report::{BenchReport, Json};
+use apex_bench::{base_seed, Experiment, Scale};
+use apex_net::{Client, RetryPolicy, Status};
+use apex_query::stats::{micros, millis, percentile};
+use apex_shard::{rolling_swap, ClusterConfig, Router, RouterConfig, ShardCluster, ShardMap};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CLIENTS: usize = 4;
+const PER_CLIENT: usize = 100;
+const REPLICAS: usize = 2;
+const SHARD_COUNTS: [u16; 3] = [1, 2, 4];
+
+/// One closed-loop client: `PER_CLIENT` merged queries, one
+/// outstanding at a time, each retried through the client-side shed
+/// policy. Returns (latencies, statuses).
+fn closed_loop_client(
+    addr: SocketAddr,
+    queries: &[String],
+    seed: u64,
+) -> Result<(Vec<Duration>, Vec<Status>), apex_net::WireError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let policy = RetryPolicy::default();
+    let mut c = Client::connect(addr)?;
+    let mut lat = Vec::with_capacity(PER_CLIENT);
+    let mut statuses = Vec::with_capacity(PER_CLIENT);
+    for _ in 0..PER_CLIENT {
+        let q = &queries[rng.gen_range(0..queries.len())];
+        let t = Instant::now();
+        let resp = c.call_retrying(q, 0, &policy)?;
+        lat.push(t.elapsed());
+        statuses.push(resp.status);
+    }
+    Ok((lat, statuses))
+}
+
+/// Runs `CLIENTS` closed-loop clients against `addr`; optionally fires
+/// `mid` on the driver thread once the clients have ramped.
+fn drive(
+    addr: SocketAddr,
+    queries: &[String],
+    seed: u64,
+    mut mid: Option<&mut dyn FnMut()>,
+) -> Result<(Vec<Duration>, Vec<Status>), apex_net::WireError> {
+    let mut lat = Vec::with_capacity(CLIENTS * PER_CLIENT);
+    let mut statuses = Vec::with_capacity(CLIENTS * PER_CLIENT);
+    std::thread::scope(|s| -> Result<(), apex_net::WireError> {
+        let mut handles = Vec::new();
+        for i in 0..CLIENTS {
+            handles.push(s.spawn(move || closed_loop_client(addr, queries, seed ^ (i as u64 + 1))));
+        }
+        if let Some(f) = mid.as_mut() {
+            std::thread::sleep(Duration::from_millis(10));
+            f();
+        }
+        for h in handles {
+            match h.join() {
+                Ok(r) => {
+                    let (l, s) = r?;
+                    lat.extend(l);
+                    statuses.extend(s);
+                }
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        Ok(())
+    })?;
+    Ok((lat, statuses))
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::from_env();
+    let seed = base_seed();
+    let mut report = BenchReport::new("shardload");
+
+    let datasets = scale.datasets();
+    let d = datasets[0];
+    let e = Experiment::new(d, scale);
+    let g = Arc::new(e.g.clone());
+    let queries: Vec<String> = e
+        .queries
+        .qtype1
+        .iter()
+        .take(256)
+        .map(|q| q.render(&g))
+        .collect();
+    assert!(!queries.is_empty(), "no queries generated");
+    println!(
+        "shardload: {} — {} queries, {CLIENTS} clients × {PER_CLIENT} requests, seed {seed}",
+        d.name(),
+        queries.len()
+    );
+
+    // Phase 1: closed-loop latency vs shard count.
+    for shards in SHARD_COUNTS {
+        let cluster = ShardCluster::start(
+            Arc::clone(&g),
+            ShardMap::new(shards),
+            ClusterConfig {
+                replicas: REPLICAS,
+                ..ClusterConfig::default()
+            },
+        )?;
+        let mut router = Router::start(
+            cluster.map(),
+            &cluster.addrs(),
+            RouterConfig::default(),
+            "127.0.0.1:0",
+        )?;
+        let t = Instant::now();
+        let (mut lat, statuses) = drive(
+            router.local_addr(),
+            &queries,
+            seed ^ u64::from(shards),
+            None,
+        )?;
+        let wall = t.elapsed();
+        let stats = router.drain();
+        drop(router);
+        let cluster_stats = cluster.shutdown();
+        let sent = statuses.len();
+        let ok = statuses.iter().filter(|&&s| s == Status::Ok).count();
+        lat.sort_unstable();
+        println!(
+            "{shards} shard(s): {sent} merged requests in {:.1} ms — p50 {:.1} us, p99 {:.1} us, {ok} ok",
+            millis(wall),
+            micros(percentile(&lat, 0.50)),
+            micros(percentile(&lat, 0.99)),
+        );
+        assert_eq!(ok, sent, "closed loop must not shed at this rate");
+        assert!(stats.balanced(), "router books must balance: {stats}");
+        assert!(
+            cluster_stats.balanced(),
+            "cluster books must balance: {:?}",
+            cluster_stats.net_total()
+        );
+        assert_eq!(
+            stats.hop_delivered(),
+            cluster_stats.net_total().accepted,
+            "clean-run cross-hop rollup must match the shard servers"
+        );
+        report.push(Json::Obj(vec![
+            ("phase", Json::str("closed_loop")),
+            ("shards", Json::U64(u64::from(shards))),
+            ("replicas", Json::U64(REPLICAS as u64)),
+            ("requests", Json::U64(sent as u64)),
+            ("p50_us", Json::F64(micros(percentile(&lat, 0.50)))),
+            ("p99_us", Json::F64(micros(percentile(&lat, 0.99)))),
+            ("ok", Json::U64(ok as u64)),
+            ("wall_ms", Json::F64(millis(wall))),
+            (
+                "hop_forwarded",
+                Json::U64(stats.hops.iter().map(|h| h.forwarded).sum()),
+            ),
+        ]));
+    }
+
+    // Phase 2: rolling swap under load — zero shed or bust.
+    let mut cluster = ShardCluster::start(
+        Arc::clone(&g),
+        ShardMap::new(2),
+        ClusterConfig {
+            replicas: REPLICAS,
+            ..ClusterConfig::default()
+        },
+    )?;
+    let mut router = Router::start(
+        cluster.map(),
+        &cluster.addrs(),
+        RouterConfig::default(),
+        "127.0.0.1:0",
+    )?;
+    let addr = router.local_addr();
+    let mut swap: Option<std::io::Result<apex_shard::RolloutReport>> = None;
+    let t = Instant::now();
+    let (mut lat, statuses) = {
+        // Clients touch the router over TCP alone; the swap hook is the
+        // only borrow of the cluster while they run.
+        let mut hook = || swap = Some(rolling_swap(&mut cluster, &router));
+        drive(addr, &queries, seed ^ 0x50AD, Some(&mut hook))?
+    };
+    let wall = t.elapsed();
+    let report_swap = match swap {
+        Some(Ok(rep)) => rep,
+        Some(Err(e)) => return Err(format!("rolling swap failed: {e}").into()),
+        None => return Err("rolling swap never ran".into()),
+    };
+    let stats = router.drain();
+    drop(router);
+    let cluster_stats = cluster.shutdown();
+    let sent = statuses.len();
+    let sheds = statuses.iter().filter(|s| s.is_shed()).count();
+    lat.sort_unstable();
+    println!(
+        "rolling swap: {} replica(s) replaced under {sent} live requests in {:.1} ms — \
+         {sheds} client-visible shed(s), {} drain shed(s) absorbed, p99 {:.1} us",
+        report_swap.swapped,
+        millis(wall),
+        report_swap.drained_sheds,
+        micros(percentile(&lat, 0.99)),
+    );
+    assert_eq!(sheds, 0, "a rolling swap must be invisible to clients");
+    assert_eq!(report_swap.swapped, 4, "2 shards × 2 replicas");
+    assert_eq!(
+        cluster_stats.retired.len(),
+        4,
+        "every retired replica ledgered"
+    );
+    assert!(stats.balanced(), "router books must balance: {stats}");
+    assert!(
+        cluster_stats.balanced(),
+        "cluster books (swaps included) must balance: {:?}",
+        cluster_stats.net_total()
+    );
+    report.push(Json::Obj(vec![
+        ("phase", Json::str("rolling_swap")),
+        ("shards", Json::U64(2)),
+        ("replicas", Json::U64(REPLICAS as u64)),
+        ("requests", Json::U64(sent as u64)),
+        ("swapped", Json::U64(report_swap.swapped as u64)),
+        ("drained_sheds", Json::U64(report_swap.drained_sheds)),
+        ("client_sheds", Json::U64(sheds as u64)),
+        ("p50_us", Json::F64(micros(percentile(&lat, 0.50)))),
+        ("p99_us", Json::F64(micros(percentile(&lat, 0.99)))),
+        ("wall_ms", Json::F64(millis(wall))),
+        (
+            "balanced",
+            Json::Bool(stats.balanced() && cluster_stats.balanced()),
+        ),
+    ]));
+
+    report.meta("dataset", Json::str(d.name()));
+    report.meta("clients", Json::U64(CLIENTS as u64));
+    report.meta("per_client", Json::U64(PER_CLIENT as u64));
+    report.meta("replicas", Json::U64(REPLICAS as u64));
+    let path = report.write()?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run()
+}

@@ -25,6 +25,16 @@
 //! `--queue-cap` and `--deadline-ms` tune the admission control. Type
 //! `stop` (or EOF / `stats`) on stdin to drain gracefully / inspect.
 //!
+//! `rollout` demonstrates the sharded serving tier end to end: it
+//! partitions the loaded graph over `--shards` shards × `--replicas`
+//! replicas ([`apex_shard::ShardCluster`]), fronts them with a
+//! scatter-gather [`apex_shard::Router`], drives `--requests` queries
+//! from `--clients` concurrent clients, and — while that traffic is in
+//! flight — drains, replaces and readmits every replica one at a time
+//! ([`apex_shard::rolling_swap`]). It exits non-zero if any client saw
+//! a shed response or any accounting ledger failed to balance: the
+//! zero-downtime rollout invariant, checked from the outside.
+//!
 //! Commands inside the shell:
 //!
 //! ```text
@@ -97,6 +107,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let rollout_cfg = match take_rollout(&mut args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let g = match load_graph(&args) {
         Ok(g) => Arc::new(g),
         Err(e) => {
@@ -104,7 +121,8 @@ fn main() {
             eprintln!(
                 "usage: apex-cli --file <xml> | --dataset <Table1-name|play|flix|ged> \
                  [--size N] [--buffer-pages N] [--refresh-every N] [--wal-dir <dir>] \
-                 [listen <addr> [--workers N] [--queue-cap N] [--deadline-ms N]]"
+                 [listen <addr> [--workers N] [--queue-cap N] [--deadline-ms N]] \
+                 [rollout [--shards N] [--replicas N] [--requests N] [--clients N]]"
             );
             std::process::exit(2);
         }
@@ -116,6 +134,10 @@ fn main() {
         g.label_count(),
         g.idref_labels().len()
     );
+    if let Some(cfg) = rollout_cfg {
+        rollout(g, &cfg);
+        return;
+    }
 
     let table = DataTable::build(&g, PageModel::default());
     let policy = match refresh_every {
@@ -585,6 +607,196 @@ fn server_conn_lines(server: &apex_net::Server) -> Vec<String> {
             )
         })
         .collect()
+}
+
+/// `rollout` subcommand configuration.
+struct RolloutConfig {
+    shards: u16,
+    replicas: usize,
+    requests: usize,
+    clients: usize,
+}
+
+/// Runs the sharded serving tier under live load and performs a full
+/// rolling replica swap, asserting the zero-downtime invariant from a
+/// client's point of view. Exits non-zero on any client-visible shed
+/// or accounting imbalance.
+fn rollout(g: Arc<XmlGraph>, cfg: &RolloutConfig) {
+    use apex_net::RetryPolicy;
+    use apex_shard::{rolling_swap, ClusterConfig, Router, RouterConfig, ShardCluster, ShardMap};
+
+    // A dataset-independent workload: single-label partial-path queries
+    // over the first few element labels of whatever graph was loaded.
+    let queries: Vec<String> = g
+        .labels()
+        .iter()
+        .map(|(_, s)| s)
+        .filter(|s| !s.starts_with('@'))
+        .take(4)
+        .map(|s| format!("//{s}"))
+        .collect();
+    if queries.is_empty() {
+        eprintln!("error: the loaded graph has no element labels to query");
+        std::process::exit(1);
+    }
+    let map = ShardMap::new(cfg.shards);
+    let cluster_cfg = ClusterConfig {
+        replicas: cfg.replicas,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = match ShardCluster::start(Arc::clone(&g), map, cluster_cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot start cluster: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut router = match Router::start(
+        map,
+        &cluster.addrs(),
+        RouterConfig::default(),
+        "127.0.0.1:0",
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot start router: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "rollout: {} shard(s) × {} replica(s) behind {} | {} request(s) over {} client(s)",
+        cfg.shards,
+        cfg.replicas,
+        router.local_addr(),
+        cfg.requests,
+        cfg.clients
+    );
+    println!("workload: {}", queries.join(" "));
+
+    let addr = router.local_addr();
+    let per_client = cfg.requests.div_ceil(cfg.clients.max(1));
+    let policy = RetryPolicy::default();
+    let mut ok = 0u64;
+    let mut sheds = 0u64;
+    let mut errors = 0u64;
+    let mut report = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.clients.max(1));
+        for c in 0..cfg.clients.max(1) {
+            let queries = &queries;
+            let policy = &policy;
+            handles.push(scope.spawn(move || {
+                let (mut ok, mut sheds, mut errors) = (0u64, 0u64, 0u64);
+                let mut client = match apex_net::Client::connect(addr) {
+                    Ok(cl) => cl,
+                    Err(_) => return (0, 0, per_client as u64),
+                };
+                for i in 0..per_client {
+                    let q = &queries[(c + i) % queries.len()];
+                    match client.call_retrying(q, 0, policy) {
+                        Ok(resp) if resp.status.is_shed() => sheds += 1,
+                        Ok(_) => ok += 1,
+                        Err(_) => errors += 1,
+                    }
+                }
+                (ok, sheds, errors)
+            }));
+        }
+        // Let the clients ramp, then replace every replica under load.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        report = Some(rolling_swap(&mut cluster, &router));
+        for h in handles {
+            match h.join() {
+                Ok((o, s, e)) => {
+                    ok += o;
+                    sheds += s;
+                    errors += e;
+                }
+                Err(_) => errors += 1,
+            }
+        }
+    });
+    let swap_failed = match report {
+        Some(Ok(rep)) => {
+            println!(
+                "rolled out: {} replica(s) swapped, {} drain shed(s) absorbed by siblings",
+                rep.swapped, rep.drained_sheds
+            );
+            false
+        }
+        Some(Err(e)) => {
+            eprintln!("error: rolling swap failed: {e}");
+            true
+        }
+        None => true,
+    };
+    let stats = router.drain();
+    println!("clients: {ok} ok, {sheds} shed, {errors} error(s)");
+    println!("router: {stats}");
+    println!("pinned generations: {:?}", router.pinned_generations());
+    drop(router);
+    let cluster_stats = cluster.shutdown();
+    println!("cluster: {}", cluster_stats.net_total());
+    let clean =
+        !swap_failed && sheds == 0 && errors == 0 && stats.balanced() && cluster_stats.balanced();
+    if clean {
+        println!("rollout clean: zero client-visible sheds, all ledgers balanced");
+    } else {
+        eprintln!(
+            "rollout FAILED: sheds={sheds} errors={errors} router_balanced={} cluster_balanced={}",
+            stats.balanced(),
+            cluster_stats.balanced()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Extracts `rollout` plus its tuning flags (`--shards N`,
+/// `--replicas N`, `--requests N`, `--clients N`) from `args`,
+/// removing them.
+fn take_rollout(args: &mut Vec<String>) -> Result<Option<RolloutConfig>, String> {
+    let Some(i) = args.iter().position(|a| a == "rollout") else {
+        return Ok(None);
+    };
+    args.remove(i);
+    let mut cfg = RolloutConfig {
+        shards: 3,
+        replicas: 2,
+        requests: 200,
+        clients: 4,
+    };
+    for (flag, field) in [
+        ("--shards", 0usize),
+        ("--replicas", 1),
+        ("--requests", 2),
+        ("--clients", 3),
+    ] {
+        let Some(j) = args.iter().position(|a| a == flag) else {
+            continue;
+        };
+        if j + 1 >= args.len() {
+            return Err(format!("{flag} needs a number"));
+        }
+        let v: u64 = args[j + 1]
+            .parse()
+            .map_err(|_| format!("{flag}: not a number: {}", args[j + 1]))?;
+        if v == 0 {
+            return Err(format!("{flag} must be at least 1"));
+        }
+        match field {
+            0 => {
+                cfg.shards = u16::try_from(v).map_err(|_| "--shards: too many".to_string())?;
+            }
+            1 => cfg.replicas = v as usize,
+            2 => cfg.requests = v as usize,
+            _ => cfg.clients = v as usize,
+        }
+        args.drain(j..=j + 1);
+    }
+    if cfg.replicas < 2 {
+        return Err("rollout needs --replicas >= 2 (the sibling carries the shard)".into());
+    }
+    Ok(Some(cfg))
 }
 
 /// Extracts `listen <addr>` plus its tuning flags (`--workers N`,

@@ -18,8 +18,9 @@
 //!   [`Status::Draining`] sheds, never silent drops), per-request
 //!   deadlines enforced at dequeue and mid-execution checkpoints, and
 //!   graceful drain accounted by [`NetStats`];
-//! * [`client`] — a small blocking client library used by the CLI, the
-//!   load generator and the tests.
+//! * [`client`] — a small blocking client library (with bounded
+//!   reconnect + shed-retry fault tolerance) used by the CLI, the load
+//!   generator, the scatter-gather router and the tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +30,7 @@ pub mod engine;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, ClientStats, RetryPolicy};
 pub use engine::{Engine, ExecOutcome};
 pub use server::{ConnStats, NetStats, Server, ServerConfig};
-pub use wire::{Message, Request, Response, Status, WireError};
+pub use wire::{Message, Request, Response, ShardGen, Status, WireError};

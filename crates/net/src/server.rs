@@ -49,7 +49,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::engine::Engine;
-use crate::wire::{write_message, Message, Request, Response, Status, DEFAULT_MAX_FRAME};
+use crate::wire::{write_message, Message, Request, Response, ShardGen, Status, DEFAULT_MAX_FRAME};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -576,18 +576,30 @@ fn reader_loop(mut stream: TcpStream, conn: &Arc<Conn>, shared: &Arc<Shared>) {
     }
 }
 
+/// The response's generation vector: shard-tagged engines stamp their
+/// `(shard, generation)` entry so routers can audit consistency;
+/// untagged single-process servers leave it empty.
+fn shard_gens(engine: &Engine, generation: u64) -> Vec<ShardGen> {
+    match engine.shard_tag() {
+        Some(shard) => vec![ShardGen { shard, generation }],
+        None => Vec::new(),
+    }
+}
+
 /// A rows-free refusal response.
 fn shed(req: &Request, status: Status, shared: &Shared) -> Response {
+    let generation = shared.engine.generation();
     Response {
         id: req.id,
         status,
-        generation: shared.engine.generation(),
+        generation,
         total_rows: 0,
         rows: Vec::new(),
         pages_read: 0,
         join_work: 0,
         server_us: 0,
         plan_digest: 0,
+        gens: shard_gens(&shared.engine, generation),
     }
 }
 
@@ -597,18 +609,20 @@ fn worker_loop(shared: &Shared) {
         // Deadline check at dequeue: queue wait already spent the
         // budget, so don't burn an execution on a dead request.
         if job.deadline.is_some_and(|d| start >= d) {
+            let generation = shared.engine.generation();
             job.conn.respond(
                 &shared.counters,
                 &Response {
                     id: job.req.id,
                     status: Status::DeadlineExceeded,
-                    generation: shared.engine.generation(),
+                    generation,
                     total_rows: 0,
                     rows: Vec::new(),
                     pages_read: 0,
                     join_work: 0,
                     server_us: 0,
                     plan_digest: 0,
+                    gens: shard_gens(&shared.engine, generation),
                 },
             );
             continue;
@@ -627,6 +641,7 @@ fn worker_loop(shared: &Shared) {
                 join_work: out.join_work,
                 server_us,
                 plan_digest: out.plan_digest,
+                gens: shard_gens(&shared.engine, out.generation),
             },
         );
     }
